@@ -1,0 +1,22 @@
+"""Ablation benches: kick-id filtering, quantum trade-off, budget accuracy."""
+
+from conftest import run_experiment_once
+
+from repro.bench.experiment import value_of
+
+
+def test_ablation_watchdog_kick_ids(benchmark, bench_scale):
+    result = run_experiment_once(benchmark, "ablation-watchdog", bench_scale)
+    guarded = value_of(result.rows, "mips", guarded=True)
+    unguarded = value_of(result.rows, "mips", guarded=False)
+    assert guarded > unguarded
+
+
+def test_ablation_quantum_tradeoff(benchmark, bench_scale):
+    result = run_experiment_once(benchmark, "ablation-quantum", bench_scale)
+    assert len(result.rows) >= 5
+
+
+def test_ablation_budget_accuracy(benchmark):
+    result = run_experiment_once(benchmark, "ablation-budget", 0.1)
+    assert value_of(result.rows, "mean_overshoot_cycles", mode="perf") == 0.0

@@ -1,0 +1,49 @@
+"""Figure 5 — bare-metal Dhrystone MIPS.
+
+``test_fig5_regenerate_figure`` re-runs the whole sweep (both platforms,
+1/2/4/8 cores, three quanta, parallel on/off) and asserts the paper's
+claims; the other benchmarks time representative single configurations so
+regressions in simulator throughput are visible in isolation.
+"""
+
+from conftest import run_experiment_once
+
+from repro.bench.measure import make_config, run_workload
+from repro.workloads.dhrystone import DhrystoneParams, dhrystone_software
+
+
+def _iterations(scale):
+    return max(10_000, int(5_000_000 * scale))
+
+
+def test_fig5_regenerate_figure(benchmark, bench_scale):
+    result = run_experiment_once(benchmark, "fig5", bench_scale)
+    assert len(result.rows) == 2 * 4 * 3 * 2     # platforms x cores x quanta x par
+
+
+def test_fig5_aoa_single_core(benchmark, bench_scale):
+    software = dhrystone_software(1, DhrystoneParams(_iterations(bench_scale)))
+    config = make_config(1, 1000.0, False)
+    metrics = benchmark(lambda: run_workload("aoa", config, software))
+    assert 7_000 < metrics.mips < 13_000
+
+
+def test_fig5_avp64_single_core(benchmark, bench_scale):
+    software = dhrystone_software(1, DhrystoneParams(_iterations(bench_scale)))
+    config = make_config(1, 1000.0, False)
+    metrics = benchmark(lambda: run_workload("avp64", config, software))
+    assert 700 < metrics.mips < 1_300
+
+
+def test_fig5_aoa_octa_parallel(benchmark, bench_scale):
+    software = dhrystone_software(8, DhrystoneParams(_iterations(bench_scale)))
+    config = make_config(8, 1000.0, True)
+    metrics = benchmark(lambda: run_workload("aoa", config, software))
+    assert metrics.mips > 30_000      # scales past quad, dips below 8x
+
+
+def test_fig5_aoa_small_quantum_penalty(benchmark, bench_scale):
+    software = dhrystone_software(1, DhrystoneParams(_iterations(bench_scale)))
+    config = make_config(1, 100.0, False)
+    metrics = benchmark(lambda: run_workload("aoa", config, software))
+    assert metrics.mips < 10_000      # below the 1 ms configuration

@@ -1,0 +1,45 @@
+"""Figure 6 — Buildroot-Linux boot durations (AoA, with/without WFI
+annotations)."""
+
+from conftest import run_experiment_once
+
+from repro.bench.measure import make_config, run_workload
+from repro.vp.linux import LinuxBootParams, linux_boot_software
+
+
+def _boot(cores, quantum_us, parallel, annotations, scale):
+    software = linux_boot_software(cores, LinuxBootParams().scaled(scale))
+    config = make_config(cores, quantum_us, parallel, wfi_annotations=annotations)
+    return run_workload("aoa", config, software, stop_on_boot=True,
+                        max_sim_seconds=3000.0)
+
+
+def test_fig6_regenerate_figure(benchmark, bench_scale):
+    result = run_experiment_once(benchmark, "fig6", bench_scale)
+    assert len(result.rows) == 4 * 3 * 2 * 2     # cores x quanta x par x ann
+
+
+def test_fig6a_single_core_boot(benchmark, bench_scale):
+    metrics = benchmark(lambda: _boot(1, 1000.0, False, False, bench_scale))
+    assert metrics.boot_seconds is not None
+
+
+def test_fig6a_octa_sequential_idle_cost(benchmark, bench_scale):
+    metrics = benchmark(lambda: _boot(8, 1000.0, False, False, bench_scale))
+    assert metrics.counters.get("num_wfi_suspends", 0) == 0
+    assert metrics.wall_seconds > 5 * metrics.sim_seconds * 0.5
+
+
+def test_fig6b_octa_sequential_annotated(benchmark, bench_scale):
+    metrics = benchmark(lambda: _boot(8, 1000.0, False, True, bench_scale))
+    assert metrics.counters.get("num_wfi_suspends", 0) > 0
+
+
+def test_fig6_annotation_speedup_octa(benchmark, bench_scale):
+    def both():
+        plain = _boot(8, 5000.0, False, False, bench_scale)
+        annotated = _boot(8, 5000.0, False, True, bench_scale)
+        return plain.wall_seconds / annotated.wall_seconds
+
+    speedup = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert speedup > 3.0    # paper: 11.5x at full scale, 5 ms sequential

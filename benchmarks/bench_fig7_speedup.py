@@ -1,0 +1,43 @@
+"""Figure 7 — AoA-vs-AVP64 speedups (1 ms quantum, parallel execution)."""
+
+from conftest import run_experiment_once
+
+from repro.bench.measure import make_config, run_workload
+from repro.workloads.mibench import mibench_software
+from repro.workloads.npb import npb_software
+from repro.workloads.stream import StreamParams, stream_software
+
+
+def _speedup(software, cores=1, **opts):
+    aoa = run_workload("aoa", make_config(cores, 1000.0, True, wfi_annotations=True),
+                       software, **opts)
+    avp = run_workload("avp64", make_config(cores, 1000.0, True), software, **opts)
+    return avp.wall_seconds / aoa.wall_seconds
+
+
+def test_fig7_regenerate_figure(benchmark):
+    # fig7 needs a slightly larger scale than the rest: tiny MiBench runs
+    # would be 100 % translation overhead.
+    result = run_experiment_once(benchmark, "fig7", 0.05)
+    workloads = {row.keys["workload"] for row in result.rows}
+    assert "dhrystone" in workloads and "npb-ft" in workloads
+
+
+def test_fig7_susan_small_translation_bound(benchmark):
+    software = mibench_software("susan_s", "small", 1)
+    speedup = benchmark.pedantic(lambda: _speedup(software), rounds=1, iterations=1)
+    assert speedup > 60     # paper: ~165x at full scale
+
+
+def test_fig7_stream_1m(benchmark):
+    software = stream_software(1, StreamParams(array_elements=1_000_000, ntimes=2))
+    speedup = benchmark.pedantic(lambda: _speedup(software), rounds=1, iterations=1)
+    assert speedup > 10
+
+
+def test_fig7_npb_ft_sync_bound(benchmark):
+    software = npb_software("ft", 4)
+    speedup = benchmark.pedantic(
+        lambda: _speedup(software, cores=4, max_sim_seconds=3000.0),
+        rounds=1, iterations=1)
+    assert 1.0 < speedup < 6.0      # communication-bound: small gain

@@ -1,0 +1,76 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not figures from the paper — these watch the Python-level throughput of
+the building blocks (event kernel, interpreter, phase executor) so that
+performance regressions in the simulator do not masquerade as modeled
+results."""
+
+from repro.arch.assembler import assemble
+from repro.arch.registers import CpuState
+from repro.iss.executor import GuestMemoryMap
+from repro.iss.interpreter import Interpreter
+from repro.iss.phase import Compute, PhaseContext, PhaseExecutor
+from repro.systemc.kernel import Kernel
+from repro.systemc.time import SimTime
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        kernel = Kernel()
+
+        def ping():
+            for _ in range(2_000):
+                yield SimTime.ns(10)
+
+        kernel.spawn(ping)
+        kernel.run()
+        return kernel.delta_count
+
+    deltas = benchmark(run_events)
+    assert deltas >= 2_000
+
+
+def test_interpreter_throughput(benchmark):
+    image = assemble("""
+_start:
+    movz x0, #0
+    movz x1, #5000
+loop:
+    add x0, x0, #3
+    sub x1, x1, #1
+    cbnz x1, loop
+    hlt #0
+""")
+    def run_guest():
+        memory = GuestMemoryMap()
+        memory.add_slot(0, memoryview(bytearray(0x10000)))
+        image.load_into(memory.write)
+        state = CpuState()
+        state.pc = image.entry
+        interp = Interpreter(state, memory)
+        info = interp.run(100_000)
+        return info
+
+    info = benchmark(run_guest)
+    assert info.instructions > 15_000
+
+
+def test_phase_executor_throughput(benchmark):
+    def run_phases():
+        memory = GuestMemoryMap()
+        memory.add_slot(0, memoryview(bytearray(0x1000)))
+
+        def program(ctx):
+            for index in range(1_000):
+                yield Compute(1_000_000, key=f"k{index % 7}")
+
+        executor = PhaseExecutor(program, PhaseContext(0, memory))
+        total = 0
+        while True:
+            info = executor.run(10_000_000)
+            total += info.instructions
+            if info.reason.value == "halt":
+                return total
+
+    total = benchmark(run_phases)
+    assert total == 1_000_000_000

@@ -1,0 +1,30 @@
+"""Shared configuration for the pytest-benchmark suite.
+
+``REPRO_BENCH_SCALE`` scales workload instruction counts: 1.0 reproduces
+the paper-sized runs (minutes of Python runtime); the default keeps the
+whole suite in the tens of seconds while preserving every figure's shape.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_experiment_once(benchmark, experiment_id, scale):
+    """Time one full experiment regeneration and sanity-check its claims."""
+    from repro.bench import get_experiment
+
+    result = benchmark.pedantic(
+        lambda: get_experiment(experiment_id).run(scale=scale),
+        rounds=1, iterations=1,
+    )
+    failures = [check for check in result.checks if not check["passed"]]
+    assert not failures, f"paper-claim checks failed: {failures}"
+    return result

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Extend the VP with a custom peripheral — the pre-silicon driver story.
+
+The paper motivates VPs with pre-silicon software bring-up: model a device
+before the hardware exists and develop its driver against the model.  This
+example does exactly that:
+
+1. define a new register-mapped peripheral (an 8-channel PWM LED
+   controller) in ~30 lines by subclassing :class:`repro.vcml.Peripheral`,
+2. map it into the VP's address space next to the stock devices,
+3. run a bare-metal "driver" (A64-lite assembly) that programs it,
+4. observe the device state from the host side.
+
+Because the KVM CPU model is a drop-in ISS replacement, the same guest
+driver runs unchanged on the AVP64 platform too — swap "aoa" for "avp64".
+
+Run:  python examples/custom_peripheral.py
+"""
+
+from repro.arch import assemble
+from repro.systemc import SimTime
+from repro.vcml import Access, Peripheral
+from repro.vp import GuestSoftware, VpConfig, build_platform
+
+LED_BASE = 0x0A00_0000
+
+
+class PwmLedController(Peripheral):
+    """8 LED channels: global ENABLE, per-channel duty-cycle registers.
+
+    ======  ==========  =====================================
+    offset  name        function
+    ======  ==========  =====================================
+    0x00    ENABLE      bit N enables channel N
+    0x04    STATUS      read-only mirror of ENABLE
+    0x10+4N DUTY[N]     duty cycle 0..255 for channel N
+    ======  ==========  =====================================
+    """
+
+    CHANNELS = 8
+
+    def __init__(self, name, parent=None):
+        super().__init__(name, parent)
+        self.enabled_mask = 0
+        self.duty = [0] * self.CHANNELS
+        self.add_register("enable", 0x00, on_read=lambda: self.enabled_mask,
+                          on_write=self._write_enable)
+        self.add_register("status", 0x04, access=Access.READ,
+                          on_read=lambda: self.enabled_mask)
+        for channel in range(self.CHANNELS):
+            self.add_register(f"duty{channel}", 0x10 + 4 * channel,
+                              on_read=lambda ch=channel: self.duty[ch],
+                              on_write=lambda v, ch=channel: self._write_duty(ch, v))
+
+    def _write_enable(self, value):
+        self.enabled_mask = value & 0xFF
+
+    def _write_duty(self, channel, value):
+        self.duty[channel] = value & 0xFF
+
+    def brightness(self, channel):
+        """Host-side view: effective brightness in percent."""
+        if not self.enabled_mask & (1 << channel):
+            return 0.0
+        return 100.0 * self.duty[channel] / 255.0
+
+
+GUEST_DRIVER = """
+.equ LED_HI, 0x0A00
+.equ SIMCTL_HI, 0x090F
+
+_start:
+    movz x1, #LED_HI, lsl #16
+    // ramp duty cycles: channel N gets N * 32
+    movz x2, #0                 // channel index
+    movz x3, #0                 // duty value
+next_channel:
+    lsl x4, x2, #2              // offset = 0x10 + 4 * channel
+    add x4, x4, #0x10
+    add x5, x1, x4
+    strw x3, [x5]
+    add x3, x3, #32
+    add x2, x2, #1
+    cmp x2, #8
+    b.lo next_channel
+    // enable channels 0..5
+    movz x6, #0x3F
+    strw x6, [x1]
+    // sanity: read STATUS back
+    ldrw x7, [x1, #4]
+    movz x8, #SIMCTL_HI, lsl #16
+    str x7, [x8, #0x10]         // record it as a checkpoint
+    str x8, [x8]                // shutdown
+    hlt #0
+"""
+
+
+def main():
+    image = assemble(GUEST_DRIVER, base_address=0x1000)
+    software = GuestSoftware(image=image, mode="interpreter", name="led-driver")
+    config = VpConfig(num_cores=1, quantum=SimTime.us(100), parallel=False)
+    vp = build_platform("aoa", config, software)
+
+    # Drop the new device into the memory map — one line of integration.
+    led = PwmLedController("led", parent=vp)
+    vp.bus.map(LED_BASE, LED_BASE + 0xFFF, led.in_socket, name="led")
+
+    vp.run(SimTime.ms(100))
+
+    print("guest driver finished; device state as seen by the host:")
+    for channel in range(PwmLedController.CHANNELS):
+        state = "on " if led.enabled_mask & (1 << channel) else "off"
+        bar = "#" * int(led.brightness(channel) / 5)
+        print(f"  LED{channel}: {state} duty={led.duty[channel]:>3}  "
+              f"{led.brightness(channel):5.1f}% {bar}")
+    checkpoint = vp.simctl.checkpoints[0][0] if vp.simctl.checkpoints else None
+    print(f"\nguest read back STATUS=0x{checkpoint:02X} (expected 0x3F)")
+    print(f"register accesses handled: {led.num_reads} reads, {led.num_writes} writes")
+
+
+if __name__ == "__main__":
+    main()

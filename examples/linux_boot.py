@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Boot the synthetic Buildroot Linux and demonstrate WFI annotations.
+
+Reproduces the essence of the paper's Figure 6 on one octa-core AoA VP:
+the same boot, with and without WFI annotations, sequential and parallel —
+showing how idle-loop simulation dominates the unannotated multicore boot.
+
+Run:  python examples/linux_boot.py [--scale 0.02]
+"""
+
+import argparse
+
+from repro.systemc import SimTime
+from repro.vp import VpConfig, build_platform
+from repro.vp.linux import LinuxBootParams, linux_boot_software
+
+
+def boot_once(cores, quantum_us, parallel, annotations, params):
+    software = linux_boot_software(cores, params)
+    config = VpConfig(num_cores=cores, quantum=SimTime.us(quantum_us),
+                      parallel=parallel, wfi_annotations=annotations)
+    vp = build_platform("aoa", config, software)
+    vp.simctl.on_boot_done = lambda _t: vp.sim.stop()
+    vp.run(SimTime.seconds(500))
+    suspends = sum(cpu.num_wfi_suspends for cpu in vp.cpus)
+    return vp.wall_time_seconds(), vp.simctl.boot_done_at, suspends
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="boot-work scale (1.0 = paper-sized, slower)")
+    parser.add_argument("--cores", type=int, default=8)
+    args = parser.parse_args()
+    params = LinuxBootParams().scaled(args.scale)
+
+    print(f"synthetic Buildroot boot, {args.cores} cores, scale {args.scale}")
+    print(f"{'quantum':>8} {'mode':>10} {'annotations':>11} "
+          f"{'boot wall':>12} {'sim time':>12} {'WFI suspends':>13}")
+    for quantum_us in (100.0, 1000.0, 5000.0):
+        for parallel in (False, True):
+            for annotations in (False, True):
+                wall, sim_time, suspends = boot_once(
+                    args.cores, quantum_us, parallel, annotations, params)
+                mode = "parallel" if parallel else "sequential"
+                ann = "on" if annotations else "off"
+                print(f"{quantum_us:>6.0f}us {mode:>10} {ann:>11} "
+                      f"{wall:>10.3f} s {str(sim_time):>12} {suspends:>13}")
+    print("\nObservations (cf. Fig. 6): sequential+unannotated boots burn a")
+    print("full quantum of wall time per idle core per window; parallel mode")
+    print("overlaps the idle cores; WFI annotations skip idle time entirely.")
+
+
+if __name__ == "__main__":
+    main()

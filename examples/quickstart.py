@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a bare-metal guest, run it on the ARM-on-ARM VP.
+
+Builds the smallest possible end-to-end setup:
+
+1. assemble an A64-lite guest program that prints through the UART,
+2. construct the AoA virtual platform (KVM-backed CPU model, GIC, timer,
+   UART, RTC, SDHCI, RAM behind a TLM bus),
+3. run the simulation and inspect console output + performance counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch import assemble
+from repro.systemc import SimTime
+from repro.vp import GuestSoftware, VpConfig, build_platform
+
+GUEST_SOURCE = """
+.equ UART_HI, 0x0904            // PL011 data register lives at 0x0904_0000
+.equ SIMCTL_HI, 0x090F          // simulation-control device
+
+_start:
+    movz x1, #UART_HI, lsl #16
+    adr x2, message
+print_loop:
+    ldrb x3, [x2]
+    cbz x3, finished
+    strb x3, [x1]               // each store traps to the VP as MMIO
+    add x2, x2, #1
+    b print_loop
+finished:
+    movz x4, #SIMCTL_HI, lsl #16
+    str x4, [x4]                // request shutdown
+    hlt #0
+
+message:
+    .asciz "Hello from the ARM-on-ARM virtual platform!\\n"
+"""
+
+
+def main():
+    image = assemble(GUEST_SOURCE, base_address=0x1000)
+    print(f"assembled guest: {image}")
+
+    software = GuestSoftware(image=image, mode="interpreter", name="quickstart")
+    config = VpConfig(num_cores=1, quantum=SimTime.us(100), parallel=False)
+    vp = build_platform("aoa", config, software)
+
+    end_time = vp.run(SimTime.ms(100))
+
+    print(f"simulated time : {end_time}")
+    print(f"console output : {vp.console_output()!r}")
+    print(f"instructions   : {vp.total_instructions()}")
+    print(f"modeled wall   : {vp.wall_time_seconds() * 1e6:.1f} us")
+    print(f"MMIO exits     : {vp.cpus[0].num_mmio}")
+    print(f"KVM runs       : {vp.cpus[0].vcpu.num_runs}")
+
+
+if __name__ == "__main__":
+    main()

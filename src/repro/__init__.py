@@ -1,0 +1,42 @@
+"""repro — ARM-on-ARM virtualization for multicore SystemC-TLM virtual
+platforms.
+
+A complete, self-contained Python reproduction of *High-Performance
+ARM-on-ARM Virtualization for Multicore SystemC-TLM-Based Virtual
+Platforms* (DATE 2025): a SystemC-like simulation kernel, a TLM-2.0 layer,
+a VCML-style modeling library, an A64-lite guest architecture with a
+functional interpreter, a simulated Linux-KVM hypervisor, the paper's
+multicore KVM-backed CPU model (software watchdog, kick ids, WFI
+annotations), the AVP64-like DBT-ISS baseline, two full virtual platforms,
+the paper's workloads and a benchmark harness regenerating every figure.
+
+Quick start::
+
+    from repro.arch import assemble
+    from repro.systemc import SimTime
+    from repro.vp import GuestSoftware, VpConfig, build_platform
+
+    image = assemble(MY_GUEST_SOURCE, base_address=0x1000)
+    vp = build_platform("aoa", VpConfig(num_cores=2),
+                        GuestSoftware(image=image, mode="interpreter"))
+    vp.run(SimTime.ms(100))
+    print(vp.console_output())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arch",
+    "bench",
+    "core",
+    "host",
+    "iss",
+    "kvm",
+    "models",
+    "systemc",
+    "tlm",
+    "vcml",
+    "vp",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""A64-lite guest architecture: ISA, assembler, ELF-lite images, CPU state,
+exceptions and the stage-1 MMU."""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .elf import ElfLite, Section, Symbol
+from .exceptions import (
+    ExceptionClass,
+    GuestFault,
+    do_eret,
+    esr_class,
+    make_esr,
+    take_irq,
+    take_sync_exception,
+)
+from .isa import (
+    BLOCK_TERMINATORS,
+    MEMORY_OPS,
+    WORD_SIZE,
+    Cond,
+    DecodeError,
+    Instruction,
+    Op,
+    SysReg,
+    decode,
+    encode,
+)
+from .mmu import Mmu, PageTableBuilder, Tlb
+from .registers import MASK64, CpuState
+
+__all__ = [
+    "Assembler",
+    "AssemblerError",
+    "BLOCK_TERMINATORS",
+    "Cond",
+    "CpuState",
+    "DecodeError",
+    "ElfLite",
+    "ExceptionClass",
+    "GuestFault",
+    "Instruction",
+    "MASK64",
+    "MEMORY_OPS",
+    "Mmu",
+    "Op",
+    "PageTableBuilder",
+    "Section",
+    "Symbol",
+    "SysReg",
+    "Tlb",
+    "WORD_SIZE",
+    "assemble",
+    "decode",
+    "do_eret",
+    "encode",
+    "esr_class",
+    "make_esr",
+    "take_irq",
+    "take_sync_exception",
+]

@@ -1,0 +1,457 @@
+"""Two-pass assembler for A64-lite.
+
+Supports labels, the full instruction set of :mod:`repro.arch.isa`, numeric
+expressions (decimal, hex, ``label`` references, simple ``+``/``-``), and the
+directives:
+
+* ``.org ADDR``      — set the location counter
+* ``.word VALUE``    — emit a 32-bit little-endian value
+* ``.quad VALUE``    — emit a 64-bit value
+* ``.zero N``        — emit N zero bytes
+* ``.asciz "text"``  — emit a NUL-terminated string
+* ``.align N``       — align the location counter to N bytes
+* ``.equ NAME, VAL`` — define a constant
+* ``.global NAME``   — export a symbol (all labels are exported anyway;
+  kept for familiarity)
+
+Register syntax: ``x0``–``x30``, ``sp`` (= x31), ``lr`` (= x30).
+Immediate syntax: ``#123``, ``#0x1f``, ``#SYMBOL``.
+
+The output is a :class:`repro.arch.elf.ElfLite` image whose symbol table the
+WFI-annotation engine searches (the ``cpu_do_idle`` lookup from the paper).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .elf import ElfLite, Section, Symbol
+from .isa import Cond, Instruction, Op, SysReg, encode
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_TOKEN_SPLIT = re.compile(r"\s*,\s*")
+
+
+class AssemblerError(Exception):
+    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+        self.line_no = line_no
+        self.line = line
+        prefix = f"line {line_no}: " if line_no else ""
+        suffix = f"  [{line.strip()}]" if line else ""
+        super().__init__(f"{prefix}{message}{suffix}")
+
+
+_COND_ALIASES = {
+    "eq": Cond.EQ, "ne": Cond.NE, "hs": Cond.HS, "cs": Cond.HS,
+    "lo": Cond.LO, "cc": Cond.LO, "mi": Cond.MI, "pl": Cond.PL,
+    "vs": Cond.VS, "vc": Cond.VC, "hi": Cond.HI, "ls": Cond.LS,
+    "ge": Cond.GE, "lt": Cond.LT, "gt": Cond.GT, "le": Cond.LE,
+    "al": Cond.AL,
+}
+
+_MEM_OPS = {
+    "ldr": Op.LDR, "str": Op.STR, "ldrw": Op.LDRW, "strw": Op.STRW,
+    "ldrb": Op.LDRB, "strb": Op.STRB,
+}
+
+_REG3_OPS = {
+    "add": Op.ADD, "sub": Op.SUB, "mul": Op.MUL, "udiv": Op.UDIV,
+    "urem": Op.UREM, "and": Op.AND, "orr": Op.ORR, "eor": Op.EOR,
+}
+
+_REG2_IMM_OPS = {
+    "addi": Op.ADDI, "subi": Op.SUBI, "andi": Op.ANDI, "orri": Op.ORRI,
+    "eori": Op.EORI, "lsl": Op.LSLI, "lsr": Op.LSRI, "asr": Op.ASRI,
+}
+
+_NO_OPERAND_OPS = {
+    "nop": Op.NOP, "eret": Op.ERET, "wfi": Op.WFI, "dmb": Op.DMB,
+    "yield": Op.YIELD, "udf": Op.UDF,
+}
+
+
+class Assembler:
+    """Two-pass assembler producing an :class:`ElfLite` image."""
+
+    def __init__(self, base_address: int = 0):
+        self.base_address = base_address
+
+    def assemble(self, source: str, entry_symbol: str = "_start") -> ElfLite:
+        lines = self._clean(source)
+        symbols, layout = self._pass1(lines)
+        blob = self._pass2(lines, symbols, layout)
+        section = Section(".text", self.base_address, bytes(blob))
+        symbol_table = [Symbol(name, address) for name, address in sorted(symbols.items())]
+        entry = symbols.get(entry_symbol, self.base_address)
+        return ElfLite(entry=entry, sections=[section], symbols=symbol_table)
+
+    # -- helpers ----------------------------------------------------------
+    @staticmethod
+    def _clean(source: str) -> List[Tuple[int, str]]:
+        """Strip comments and blank lines; keep (line_no, text) pairs."""
+        cleaned = []
+        for number, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("//")[0].split(";")[0].strip()
+            if line:
+                cleaned.append((number, line))
+        return cleaned
+
+    def _pass1(self, lines) -> Tuple[Dict[str, int], Dict[int, int]]:
+        """Resolve label addresses; return (symbols, line->address layout)."""
+        symbols: Dict[str, int] = {}
+        layout: Dict[int, int] = {}
+        counter = self.base_address
+        for number, line in lines:
+            line = self._strip_labels(line, number, symbols, counter)
+            if not line:
+                continue
+            layout[number] = counter
+            counter += self._item_size(line, number, counter, symbols)
+        return symbols, layout
+
+    @staticmethod
+    def _remove_labels(line: str) -> str:
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                return line
+            line = line[match.end():].strip()
+
+    def _strip_labels(self, line: str, number: int, symbols: Dict[str, int],
+                      counter: int) -> str:
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                return line
+            name = match.group(1)
+            if name in symbols:
+                raise AssemblerError(f"duplicate label {name!r}", number, line)
+            symbols[name] = counter
+            line = line[match.end():].strip()
+
+    def _item_size(self, line: str, number: int, counter: int,
+                   symbols: Dict[str, int]) -> int:
+        mnemonic, operands = self._split(line)
+        if mnemonic == ".org":
+            target = self._eval(operands[0], symbols, number, line)
+            if target < counter:
+                raise AssemblerError(f".org 0x{target:x} before current 0x{counter:x}",
+                                     number, line)
+            return target - counter
+        if mnemonic == ".word":
+            return 4 * len(operands)
+        if mnemonic == ".quad":
+            return 8 * len(operands)
+        if mnemonic == ".zero":
+            return self._eval(operands[0], symbols, number, line)
+        if mnemonic == ".asciz":
+            return len(self._parse_string(operands[0], number, line)) + 1
+        if mnemonic == ".align":
+            alignment = self._eval(operands[0], symbols, number, line)
+            return (-counter) % alignment
+        if mnemonic == ".equ":
+            symbols[operands[0]] = self._eval(operands[1], symbols, number, line)
+            return 0
+        if mnemonic == ".global":
+            return 0
+        if mnemonic.startswith("."):
+            raise AssemblerError(f"unknown directive {mnemonic!r}", number, line)
+        return 4
+
+    def _pass2(self, lines, symbols: Dict[str, int], layout: Dict[int, int]) -> bytearray:
+        blob = bytearray()
+        counter = self.base_address
+        for number, line in lines:
+            line = self._remove_labels(line)
+            if not line:
+                continue
+            address = layout.get(number, counter)
+            if address > counter:
+                blob += bytes(address - counter)
+                counter = address
+            emitted = self._emit(line, number, counter, symbols)
+            blob += emitted
+            counter += len(emitted)
+        return blob
+
+    def _emit(self, line: str, number: int, address: int,
+              symbols: Dict[str, int]) -> bytes:
+        mnemonic, operands = self._split(line)
+        if mnemonic == ".org":
+            target = self._eval(operands[0], symbols, number, line)
+            return bytes(target - address)
+        if mnemonic == ".word":
+            out = bytearray()
+            for operand in operands:
+                out += (self._eval(operand, symbols, number, line) & 0xFFFFFFFF).to_bytes(4, "little")
+            return bytes(out)
+        if mnemonic == ".quad":
+            out = bytearray()
+            for operand in operands:
+                value = self._eval(operand, symbols, number, line) & ((1 << 64) - 1)
+                out += value.to_bytes(8, "little")
+            return bytes(out)
+        if mnemonic == ".zero":
+            return bytes(self._eval(operands[0], symbols, number, line))
+        if mnemonic == ".asciz":
+            return self._parse_string(operands[0], number, line) + b"\x00"
+        if mnemonic == ".align":
+            alignment = self._eval(operands[0], symbols, number, line)
+            return bytes((-address) % alignment)
+        if mnemonic in (".equ", ".global"):
+            return b""
+        inst = self._parse_instruction(mnemonic, operands, address, symbols, number, line)
+        return encode(inst).to_bytes(4, "little")
+
+    # -- instruction parsing --------------------------------------------------
+    def _parse_instruction(self, mnemonic: str, operands: List[str], address: int,
+                           symbols: Dict[str, int], number: int, line: str) -> Instruction:
+        m = mnemonic.lower()
+
+        def reg(index: int) -> int:
+            return self._parse_reg(operands[index], number, line)
+
+        def imm(index: int, pc_relative_words: bool = False) -> int:
+            return self._parse_imm(operands[index], symbols, number, line)
+
+        def branch_offset(index: int) -> int:
+            expr = self._strip_hash(operands[index])
+            if expr.strip() == ".":
+                return 0        # branch-to-self
+            target = self._eval(expr, symbols, number, line)
+            delta = target - address
+            if delta % 4:
+                raise AssemblerError(f"branch target 0x{target:x} not word aligned",
+                                     number, line)
+            return delta // 4
+
+        if m in _NO_OPERAND_OPS:
+            self._expect(operands, 0, number, line)
+            return Instruction(_NO_OPERAND_OPS[m])
+        if m in ("movz", "movk"):
+            op = Op.MOVZ if m == "movz" else Op.MOVK
+            shift = 0
+            if len(operands) == 3:
+                shift_spec = operands[2].lower().replace("lsl", "").strip()
+                shift_amount = self._eval(self._strip_hash(shift_spec), symbols, number, line)
+                if shift_amount % 16 or shift_amount > 48:
+                    raise AssemblerError("movz/movk shift must be 0/16/32/48", number, line)
+                shift = shift_amount // 16
+            else:
+                self._expect(operands, 2, number, line)
+            return Instruction(op, rd=reg(0), rm=shift, imm=imm(1))
+        if m == "mov":
+            self._expect(operands, 2, number, line)
+            if operands[1].lstrip().startswith("#"):
+                value = imm(1)
+                if value < 0 or value > 0xFFFF:
+                    raise AssemblerError("mov immediate must fit 16 bits (use movz/movk)",
+                                         number, line)
+                return Instruction(Op.MOVZ, rd=reg(0), imm=value)
+            return Instruction(Op.MOV, rd=reg(0), rn=reg(1))
+        if m in ("add", "sub") and len(operands) == 3 and operands[2].lstrip().startswith("#"):
+            op = Op.ADDI if m == "add" else Op.SUBI
+            return Instruction(op, rd=reg(0), rn=reg(1), imm=imm(2))
+        if m in _REG3_OPS:
+            self._expect(operands, 3, number, line)
+            return Instruction(_REG3_OPS[m], rd=reg(0), rn=reg(1), rm=reg(2))
+        if m in _REG2_IMM_OPS:
+            self._expect(operands, 3, number, line)
+            return Instruction(_REG2_IMM_OPS[m], rd=reg(0), rn=reg(1), imm=imm(2))
+        if m == "cmp":
+            self._expect(operands, 2, number, line)
+            if operands[1].lstrip().startswith("#"):
+                return Instruction(Op.CMPI, rn=reg(0), imm=imm(1))
+            return Instruction(Op.CMP, rn=reg(0), rm=reg(1))
+        if m in _MEM_OPS:
+            self._expect(operands, 2, number, line)
+            rn, offset = self._parse_mem(operands[1], symbols, number, line)
+            return Instruction(_MEM_OPS[m], rd=reg(0), rn=rn, imm=offset)
+        if m == "ldxr":
+            self._expect(operands, 2, number, line)
+            rn, offset = self._parse_mem(operands[1], symbols, number, line)
+            if offset:
+                raise AssemblerError("ldxr does not take an offset", number, line)
+            return Instruction(Op.LDXR, rd=reg(0), rn=rn)
+        if m == "stxr":
+            self._expect(operands, 3, number, line)
+            rn, offset = self._parse_mem(operands[2], symbols, number, line)
+            if offset:
+                raise AssemblerError("stxr does not take an offset", number, line)
+            return Instruction(Op.STXR, rd=reg(0), rn=rn, rm=reg(1))
+        if m == "b":
+            self._expect(operands, 1, number, line)
+            return Instruction(Op.B, imm=branch_offset(0))
+        if m == "bl":
+            self._expect(operands, 1, number, line)
+            return Instruction(Op.BL, imm=branch_offset(0))
+        if m.startswith("b.") and m[2:] in _COND_ALIASES:
+            self._expect(operands, 1, number, line)
+            return Instruction(Op.BCOND, cond=_COND_ALIASES[m[2:]], imm=branch_offset(0))
+        if m == "cbz":
+            self._expect(operands, 2, number, line)
+            return Instruction(Op.CBZ, rd=reg(0), imm=branch_offset(1))
+        if m == "cbnz":
+            self._expect(operands, 2, number, line)
+            return Instruction(Op.CBNZ, rd=reg(0), imm=branch_offset(1))
+        if m == "br":
+            self._expect(operands, 1, number, line)
+            return Instruction(Op.BR, rn=reg(0))
+        if m == "ret":
+            if operands and operands[0]:
+                return Instruction(Op.RET, rn=reg(0))
+            return Instruction(Op.RET, rn=30)
+        if m == "svc":
+            self._expect(operands, 1, number, line)
+            return Instruction(Op.SVC, imm=imm(0))
+        if m == "hlt":
+            self._expect(operands, 1, number, line)
+            return Instruction(Op.HLT, imm=imm(0))
+        if m == "brk":
+            self._expect(operands, 1, number, line)
+            return Instruction(Op.BRK, imm=imm(0))
+        if m == "mrs":
+            self._expect(operands, 2, number, line)
+            return Instruction(Op.MRS, rd=reg(0), imm=self._parse_sysreg(operands[1], number, line))
+        if m == "msr":
+            self._expect(operands, 2, number, line)
+            target = operands[0].lower()
+            if target in ("daifset", "daifclr"):
+                return Instruction(Op.MSRI, rm=1 if target == "daifset" else 0, imm=imm(1))
+            return Instruction(Op.MSR, rn=reg(1), imm=self._parse_sysreg(operands[0], number, line))
+        if m == "adr":
+            self._expect(operands, 2, number, line)
+            target = self._eval(self._strip_hash(operands[1]), symbols, number, line)
+            return Instruction(Op.ADR, rd=reg(0), imm=target - address)
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", number, line)
+
+    # -- operand helpers -----------------------------------------------------------
+    @staticmethod
+    def _split(line: str) -> Tuple[str, List[str]]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        if len(parts) == 1:
+            return mnemonic, []
+        rest = parts[1]
+        # Memory operands contain commas inside brackets; split carefully.
+        operands, depth, current, in_string = [], 0, "", False
+        for char in rest:
+            if char == '"':
+                in_string = not in_string
+            elif not in_string:
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+            if char == "," and depth == 0 and not in_string:
+                operands.append(current.strip())
+                current = ""
+            else:
+                current += char
+        if current.strip():
+            operands.append(current.strip())
+        return mnemonic, operands
+
+    @staticmethod
+    def _expect(operands: List[str], count: int, number: int, line: str) -> None:
+        if len(operands) != count:
+            raise AssemblerError(f"expected {count} operands, got {len(operands)}",
+                                 number, line)
+
+    @staticmethod
+    def _parse_reg(token: str, number: int, line: str) -> int:
+        t = token.strip().lower()
+        if t == "sp":
+            return 31
+        if t == "lr":
+            return 30
+        if t == "xzr":
+            raise AssemblerError("A64-lite has no zero register; use an immediate",
+                                 number, line)
+        if t.startswith("x") and t[1:].isdigit():
+            index = int(t[1:])
+            if 0 <= index <= 30:
+                return index
+        raise AssemblerError(f"bad register {token!r}", number, line)
+
+    @staticmethod
+    def _strip_hash(token: str) -> str:
+        token = token.strip()
+        return token[1:] if token.startswith("#") else token
+
+    def _parse_imm(self, token: str, symbols: Dict[str, int], number: int,
+                   line: str) -> int:
+        return self._eval(self._strip_hash(token), symbols, number, line)
+
+    def _parse_mem(self, token: str, symbols: Dict[str, int], number: int,
+                   line: str) -> Tuple[int, int]:
+        t = token.strip()
+        if not (t.startswith("[") and t.endswith("]")):
+            raise AssemblerError(f"bad memory operand {token!r}", number, line)
+        inner = t[1:-1].strip()
+        if "," in inner:
+            base, offset = inner.split(",", 1)
+            return (self._parse_reg(base, number, line),
+                    self._eval(self._strip_hash(offset), symbols, number, line))
+        return self._parse_reg(inner, number, line), 0
+
+    @staticmethod
+    def _parse_sysreg(token: str, number: int, line: str) -> int:
+        name = token.strip().upper()
+        try:
+            return int(SysReg[name])
+        except KeyError:
+            pass
+        try:
+            value = int(token.strip(), 0)     # raw encoding (implementation-defined regs)
+        except ValueError:
+            raise AssemblerError(f"unknown system register {token!r}", number, line) from None
+        if not 0 <= value <= 0xFFFF:
+            raise AssemblerError(f"system-register id out of range: {token!r}", number, line)
+        return value
+
+    @staticmethod
+    def _parse_string(token: str, number: int, line: str) -> bytes:
+        t = token.strip()
+        if len(t) < 2 or t[0] != '"' or t[-1] != '"':
+            raise AssemblerError(f"bad string literal {token!r}", number, line)
+        body = t[1:-1]
+        return body.encode("utf-8").decode("unicode_escape").encode("latin-1")
+
+    def _eval(self, expression: str, symbols: Dict[str, int], number: int,
+              line: str) -> int:
+        """Evaluate NUMBER | SYMBOL | expr (+|-) expr, left to right."""
+        text = expression.strip()
+        if not text:
+            raise AssemblerError("empty expression", number, line)
+        tokens = re.findall(r"[+\-]|[^+\-\s]+", text)
+        total, sign, saw_operand = 0, 1, False
+        for token in tokens:
+            if token == "+":
+                continue
+            if token == "-":
+                sign = -sign
+                continue
+            total += sign * self._atom(token, symbols, number, line)
+            sign = 1
+            saw_operand = True
+        if not saw_operand:
+            raise AssemblerError(f"expression has no operand: {expression!r}", number, line)
+        return total
+
+    @staticmethod
+    def _atom(token: str, symbols: Dict[str, int], number: int, line: str) -> int:
+        t = token.strip()
+        try:
+            return int(t, 0)
+        except ValueError:
+            pass
+        if t in symbols:
+            return symbols[t]
+        raise AssemblerError(f"undefined symbol {t!r}", number, line)
+
+
+def assemble(source: str, base_address: int = 0, entry_symbol: str = "_start") -> ElfLite:
+    """One-shot convenience wrapper around :class:`Assembler`."""
+    return Assembler(base_address).assemble(source, entry_symbol)

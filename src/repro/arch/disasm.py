@@ -1,0 +1,152 @@
+"""A64-lite disassembler.
+
+Produces assembler-compatible text for decoded instructions — the output
+round-trips through :mod:`repro.arch.assembler` (property-tested), which
+makes it safe to use in the debugger, trace logs and error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .isa import Cond, DecodeError, Instruction, Op, SysReg, decode
+
+_REG3_MNEMONICS = {
+    Op.ADD: "add", Op.SUB: "sub", Op.MUL: "mul", Op.UDIV: "udiv",
+    Op.UREM: "urem", Op.AND: "and", Op.ORR: "orr", Op.EOR: "eor",
+}
+
+_IMM_MNEMONICS = {
+    Op.ADDI: "add", Op.SUBI: "sub", Op.ANDI: "andi", Op.ORRI: "orri",
+    Op.EORI: "eori", Op.LSLI: "lsl", Op.LSRI: "lsr", Op.ASRI: "asr",
+}
+
+_MEM_MNEMONICS = {
+    Op.LDR: "ldr", Op.STR: "str", Op.LDRW: "ldrw", Op.STRW: "strw",
+    Op.LDRB: "ldrb", Op.STRB: "strb",
+}
+
+_PLAIN_MNEMONICS = {
+    Op.NOP: "nop", Op.ERET: "eret", Op.WFI: "wfi", Op.DMB: "dmb",
+    Op.YIELD: "yield", Op.UDF: "udf",
+}
+
+_COND_NAMES = {
+    Cond.EQ: "eq", Cond.NE: "ne", Cond.HS: "hs", Cond.LO: "lo",
+    Cond.MI: "mi", Cond.PL: "pl", Cond.VS: "vs", Cond.VC: "vc",
+    Cond.HI: "hi", Cond.LS: "ls", Cond.GE: "ge", Cond.LT: "lt",
+    Cond.GT: "gt", Cond.LE: "le", Cond.AL: "al",
+}
+
+
+def _reg(index: int) -> str:
+    if index == 31:
+        return "sp"
+    return f"x{index}"
+
+
+def _sysreg(value: int) -> str:
+    try:
+        return SysReg(value).name
+    except ValueError:
+        return f"0x{value:x}"
+
+
+def _target(pc: Optional[int], word_offset: int) -> str:
+    """Branch target: absolute if the pc is known, else relative."""
+    if pc is not None:
+        return f"0x{(pc + 4 * word_offset) & ((1 << 64) - 1):x}"
+    sign = "+" if word_offset >= 0 else "-"
+    return f".{sign}{abs(4 * word_offset)}"
+
+
+def format_instruction(inst: Instruction, pc: Optional[int] = None) -> str:
+    """Render one decoded instruction as assembly text."""
+    op = inst.op
+    if op in _PLAIN_MNEMONICS:
+        return _PLAIN_MNEMONICS[op]
+    if op is Op.MOVZ or op is Op.MOVK:
+        mnemonic = "movz" if op is Op.MOVZ else "movk"
+        text = f"{mnemonic} {_reg(inst.rd)}, #0x{inst.imm:x}"
+        if inst.rm:
+            text += f", lsl #{16 * inst.rm}"
+        return text
+    if op in _REG3_MNEMONICS:
+        return (f"{_REG3_MNEMONICS[op]} {_reg(inst.rd)}, {_reg(inst.rn)}, "
+                f"{_reg(inst.rm)}")
+    if op in _IMM_MNEMONICS:
+        return f"{_IMM_MNEMONICS[op]} {_reg(inst.rd)}, {_reg(inst.rn)}, #{inst.imm}"
+    if op is Op.CMP:
+        return f"cmp {_reg(inst.rn)}, {_reg(inst.rm)}"
+    if op is Op.CMPI:
+        return f"cmp {_reg(inst.rn)}, #{inst.imm}"
+    if op is Op.MOV:
+        return f"mov {_reg(inst.rd)}, {_reg(inst.rn)}"
+    if op in _MEM_MNEMONICS:
+        if inst.imm:
+            return (f"{_MEM_MNEMONICS[op]} {_reg(inst.rd)}, "
+                    f"[{_reg(inst.rn)}, #{inst.imm}]")
+        return f"{_MEM_MNEMONICS[op]} {_reg(inst.rd)}, [{_reg(inst.rn)}]"
+    if op is Op.LDXR:
+        return f"ldxr {_reg(inst.rd)}, [{_reg(inst.rn)}]"
+    if op is Op.STXR:
+        return f"stxr {_reg(inst.rd)}, {_reg(inst.rm)}, [{_reg(inst.rn)}]"
+    if op is Op.B:
+        return f"b {_target(pc, inst.imm)}"
+    if op is Op.BL:
+        return f"bl {_target(pc, inst.imm)}"
+    if op is Op.BCOND:
+        return f"b.{_COND_NAMES[inst.cond]} {_target(pc, inst.imm)}"
+    if op is Op.CBZ:
+        return f"cbz {_reg(inst.rd)}, {_target(pc, inst.imm)}"
+    if op is Op.CBNZ:
+        return f"cbnz {_reg(inst.rd)}, {_target(pc, inst.imm)}"
+    if op is Op.BR:
+        return f"br {_reg(inst.rn)}"
+    if op is Op.RET:
+        return "ret" if inst.rn == 30 else f"ret {_reg(inst.rn)}"
+    if op is Op.SVC:
+        return f"svc #{inst.imm}"
+    if op is Op.HLT:
+        return f"hlt #{inst.imm}"
+    if op is Op.BRK:
+        return f"brk #{inst.imm}"
+    if op is Op.MRS:
+        return f"mrs {_reg(inst.rd)}, {_sysreg(inst.imm)}"
+    if op is Op.MSR:
+        return f"msr {_sysreg(inst.imm)}, {_reg(inst.rn)}"
+    if op is Op.MSRI:
+        return f"msr {'daifset' if inst.rm else 'daifclr'}, #{inst.imm}"
+    if op is Op.ADR:
+        if pc is not None:
+            return f"adr {_reg(inst.rd)}, 0x{(pc + inst.imm) & ((1 << 64) - 1):x}"
+        return f"adr {_reg(inst.rd)}, .{'+' if inst.imm >= 0 else '-'}{abs(inst.imm)}"
+    raise ValueError(f"cannot format {inst!r}")  # pragma: no cover
+
+
+def disassemble_word(word: int, pc: Optional[int] = None) -> str:
+    """Decode + format one 32-bit word; undecodable words become .word."""
+    try:
+        return format_instruction(decode(word), pc)
+    except DecodeError:
+        return f".word 0x{word:08x}"
+
+
+def disassemble_range(read_word, start: int, count: int, symbol_at=None):
+    """Yield ``(address, word, text)`` for ``count`` words from ``start``.
+
+    ``read_word(address)`` returns the 32-bit word or None; ``symbol_at``
+    optionally maps an address to a symbol name for annotation.
+    """
+    for index in range(count):
+        address = start + 4 * index
+        word = read_word(address)
+        if word is None:
+            yield address, None, "<unmapped>"
+            continue
+        text = disassemble_word(word, pc=address)
+        if symbol_at is not None:
+            name = symbol_at(address)
+            if name is not None:
+                text = f"{text:<32} // {name}"
+        yield address, word, text

@@ -1,0 +1,104 @@
+"""Exception model: synchronous exceptions, IRQs and ERET.
+
+Follows the ARMv8 shape with a reduced vector table at ``VBAR_EL1``:
+
+========  ===============================
+offset    taken for
+========  ===============================
+0x000     synchronous exception from EL1
+0x080     IRQ from EL1
+0x100     synchronous exception from EL0
+0x180     IRQ from EL0
+========  ===============================
+
+Taking an exception saves PSTATE to ``SPSR_EL1`` and the preferred return
+address to ``ELR_EL1``, writes a syndrome to ``ESR_EL1`` (exception class in
+bits [31:26], immediate in [15:0]), masks IRQs and enters EL1.  ``ERET``
+reverses the process.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .isa import SysReg
+from .registers import CpuState
+
+VECTOR_SYNC_EL1 = 0x000
+VECTOR_IRQ_EL1 = 0x080
+VECTOR_SYNC_EL0 = 0x100
+VECTOR_IRQ_EL0 = 0x180
+
+
+class ExceptionClass(enum.IntEnum):
+    """ESR_EL1 exception-class values (subset of the ARM encoding)."""
+
+    UNKNOWN = 0x00
+    WFI_TRAP = 0x01
+    SVC = 0x15
+    INSTRUCTION_ABORT = 0x21
+    DATA_ABORT = 0x25
+    BRK = 0x3C
+    IRQ = 0x3F          # not a real ESR class; used internally
+
+
+class GuestFault(Exception):
+    """An architectural fault the execution backend must deliver."""
+
+    def __init__(self, ec: ExceptionClass, iss: int = 0, fault_address: int = 0,
+                 message: str = ""):
+        self.ec = ec
+        self.iss = iss & 0xFFFF
+        self.fault_address = fault_address
+        super().__init__(message or f"guest fault {ec.name} iss={iss:#x} far={fault_address:#x}")
+
+
+def make_esr(ec: ExceptionClass, iss: int = 0) -> int:
+    return (int(ec) << 26) | (iss & 0xFFFF)
+
+
+def esr_class(esr: int) -> ExceptionClass:
+    return ExceptionClass((esr >> 26) & 0x3F)
+
+
+def take_sync_exception(state: CpuState, ec: ExceptionClass, iss: int = 0,
+                        fault_address: int = 0, return_pc: int = 0) -> None:
+    """Route a synchronous exception to EL1.
+
+    ``return_pc`` is the preferred return address (the faulting instruction
+    for aborts, the next instruction for SVC/BRK-style traps).
+    """
+    vbar = state.read_sysreg(SysReg.VBAR_EL1)
+    offset = VECTOR_SYNC_EL0 if state.el == 0 else VECTOR_SYNC_EL1
+    state.write_sysreg(SysReg.SPSR_EL1, state.pstate_value())
+    state.write_sysreg(SysReg.ELR_EL1, return_pc)
+    state.write_sysreg(SysReg.ESR_EL1, make_esr(ec, iss))
+    if fault_address:
+        state.write_sysreg(SysReg.FAR_EL1, fault_address)
+    state.el = 1
+    state.mask_irqs()
+    state.clear_exclusive()
+    state.pc = (vbar + offset) & ((1 << 64) - 1)
+
+
+def take_irq(state: CpuState, return_pc: int) -> None:
+    """Route a (physical) IRQ to EL1.  Caller must check PSTATE.I first."""
+    vbar = state.read_sysreg(SysReg.VBAR_EL1)
+    offset = VECTOR_IRQ_EL0 if state.el == 0 else VECTOR_IRQ_EL1
+    state.write_sysreg(SysReg.SPSR_EL1, state.pstate_value())
+    state.write_sysreg(SysReg.ELR_EL1, return_pc)
+    state.el = 1
+    state.mask_irqs()
+    state.clear_exclusive()
+    state.pc = (vbar + offset) & ((1 << 64) - 1)
+
+
+def do_eret(state: CpuState) -> None:
+    """Return from an exception: restore PSTATE and jump to ELR_EL1."""
+    if state.el == 0:
+        raise GuestFault(ExceptionClass.UNKNOWN, message="ERET executed at EL0")
+    spsr = state.read_sysreg(SysReg.SPSR_EL1)
+    elr = state.read_sysreg(SysReg.ELR_EL1)
+    state.restore_pstate(spsr)
+    state.clear_exclusive()
+    state.pc = elr

@@ -1,0 +1,150 @@
+"""Architectural CPU state for A64-lite.
+
+Holds the general-purpose registers, PSTATE (NZCV flags, IRQ mask, current
+exception level) and the EL1 system registers.  The state object is shared
+between execution backends: the interpreter mutates it directly and the
+simulated KVM exposes it through ``get_regs``/``set_regs``, like the real
+``KVM_GET_ONE_REG`` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .isa import NUM_REGS, SysReg
+
+MASK64 = (1 << 64) - 1
+
+#: PSTATE.I — IRQ mask bit position inside the DAIF value.
+DAIF_IRQ_BIT = 0x2
+
+
+class CpuState:
+    """Registers + PSTATE + system registers of one core."""
+
+    __slots__ = (
+        "regs", "pc", "flag_n", "flag_z", "flag_c", "flag_v",
+        "el", "daif", "sysregs", "exclusive_addr", "exclusive_valid",
+        "halted", "core_id", "instret",
+    )
+
+    def __init__(self, core_id: int = 0):
+        self.regs = [0] * NUM_REGS
+        self.pc = 0
+        self.flag_n = False
+        self.flag_z = False
+        self.flag_c = False
+        self.flag_v = False
+        self.el = 1                       # cores reset into EL1
+        self.daif = DAIF_IRQ_BIT          # IRQs masked at reset
+        self.sysregs: Dict[int, int] = {
+            int(SysReg.MPIDR_EL1): core_id,
+            int(SysReg.MIDR_EL1): 0x41A64113,   # implementer 'A', custom part
+            int(SysReg.CNTFRQ_EL0): 62_500_000,
+        }
+        self.exclusive_addr = -1
+        self.exclusive_valid = False
+        self.halted = False
+        self.core_id = core_id
+        self.instret = 0                  # retired-instruction counter
+
+    # -- GPRs -----------------------------------------------------------------
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        self.regs[index] = value & MASK64
+
+    @property
+    def sp(self) -> int:
+        return self.regs[31]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.regs[31] = value & MASK64
+
+    @property
+    def lr(self) -> int:
+        return self.regs[30]
+
+    # -- PSTATE ----------------------------------------------------------------
+    @property
+    def irqs_masked(self) -> bool:
+        return bool(self.daif & DAIF_IRQ_BIT)
+
+    def mask_irqs(self) -> None:
+        self.daif |= DAIF_IRQ_BIT
+
+    def unmask_irqs(self) -> None:
+        self.daif &= ~DAIF_IRQ_BIT
+
+    def pstate_value(self) -> int:
+        """Pack PSTATE into a SPSR-style value."""
+        value = self.el & 0x3
+        value |= (self.daif & 0xF) << 6
+        value |= (int(self.flag_v) << 28) | (int(self.flag_c) << 29)
+        value |= (int(self.flag_z) << 30) | (int(self.flag_n) << 31)
+        return value
+
+    def restore_pstate(self, value: int) -> None:
+        self.el = value & 0x3
+        self.daif = (value >> 6) & 0xF
+        self.flag_v = bool(value & (1 << 28))
+        self.flag_c = bool(value & (1 << 29))
+        self.flag_z = bool(value & (1 << 30))
+        self.flag_n = bool(value & (1 << 31))
+
+    def set_nzcv(self, n: bool, z: bool, c: bool, v: bool) -> None:
+        self.flag_n, self.flag_z, self.flag_c, self.flag_v = n, z, c, v
+
+    # -- system registers -----------------------------------------------------------
+    def read_sysreg(self, reg: int) -> int:
+        if reg == SysReg.CURRENT_EL:
+            return self.el << 2       # mirrors CurrentEL encoding
+        if reg == SysReg.DAIF:
+            return self.daif << 6
+        return self.sysregs.get(int(reg), 0)
+
+    def write_sysreg(self, reg: int, value: int) -> None:
+        if reg == SysReg.CURRENT_EL:
+            raise PermissionError("CurrentEL is read-only")
+        if reg == SysReg.DAIF:
+            self.daif = (value >> 6) & 0xF
+            return
+        self.sysregs[int(reg)] = value & MASK64
+
+    # -- exclusive monitor ---------------------------------------------------------
+    def set_exclusive(self, address: int) -> None:
+        self.exclusive_addr = address
+        self.exclusive_valid = True
+
+    def clear_exclusive(self) -> None:
+        self.exclusive_valid = False
+        self.exclusive_addr = -1
+
+    def check_exclusive(self, address: int) -> bool:
+        return self.exclusive_valid and self.exclusive_addr == address
+
+    # -- snapshots --------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Architectural state as a plain dict (KVM_GET_REGS analogue)."""
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "pstate": self.pstate_value(),
+            "sysregs": dict(self.sysregs),
+            "instret": self.instret,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.regs = list(snap["regs"])
+        self.pc = snap["pc"]
+        self.restore_pstate(snap["pstate"])
+        self.sysregs = dict(snap["sysregs"])
+        self.instret = snap.get("instret", self.instret)
+
+    def __repr__(self) -> str:
+        return (
+            f"CpuState(core={self.core_id}, pc=0x{self.pc:x}, el={self.el}, "
+            f"instret={self.instret})"
+        )

@@ -1,0 +1,29 @@
+"""Benchmark harness: one experiment per figure of the paper's evaluation
+(Figs. 5, 6a/6b, 7) plus ablations, with paper-claim checks and reporting."""
+
+from . import ablations, fig5, fig6, fig7  # noqa: F401  (register experiments)
+from .experiment import (
+    Experiment,
+    ExperimentResult,
+    Expectation,
+    Row,
+    all_experiment_ids,
+    get_experiment,
+)
+from .measure import RunMetrics, make_config, run_workload
+from .reporting import render_markdown, render_result, render_table
+
+__all__ = [
+    "Expectation",
+    "Experiment",
+    "ExperimentResult",
+    "Row",
+    "RunMetrics",
+    "all_experiment_ids",
+    "get_experiment",
+    "make_config",
+    "render_markdown",
+    "render_result",
+    "render_table",
+    "run_workload",
+]

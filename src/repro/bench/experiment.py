@@ -1,0 +1,116 @@
+"""Experiment framework: registry, result structures, expectations.
+
+Every figure of the paper's evaluation is an :class:`Experiment` that can
+be run at ``full`` scale (paper-sized instruction counts) or ``quick``
+scale (counts shrunk so the whole suite runs in seconds — the *shapes*
+survive scaling because every mechanism cost is modeled per event).
+
+Each experiment also declares machine-checkable :class:`Expectation`
+predicates taken from the paper's text; ``check()`` evaluates them so both
+the test suite and EXPERIMENTS.md report paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Row:
+    """One measurement row of a figure (generic across experiments)."""
+
+    keys: Dict[str, object]
+    values: Dict[str, float]
+
+    def get(self, name: str):
+        if name in self.keys:
+            return self.keys[name]
+        return self.values[name]
+
+
+@dataclass
+class Expectation:
+    """A claim from the paper, evaluated against the measured rows."""
+
+    description: str
+    paper_value: str
+    predicate: Callable[[List[Row]], bool]
+    measured: Callable[[List[Row]], str]
+
+
+@dataclass
+class ExperimentResult:
+    experiment_id: str
+    title: str
+    rows: List[Row]
+    checks: List[dict] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check["passed"] for check in self.checks)
+
+
+class Experiment:
+    """Base class; subclasses define id/title/expectations and collect()."""
+
+    experiment_id = "unknown"
+    title = "unknown"
+    paper_reference = ""
+
+    def expectations(self, scale: float = 1.0) -> List[Expectation]:
+        return []
+
+    def collect(self, scale: float) -> List[Row]:
+        raise NotImplementedError
+
+    def run(self, scale: float = 1.0) -> ExperimentResult:
+        rows = self.collect(scale)
+        checks = []
+        for expectation in self.expectations(scale):
+            passed = bool(expectation.predicate(rows))
+            checks.append({
+                "description": expectation.description,
+                "paper": expectation.paper_value,
+                "measured": expectation.measured(rows),
+                "passed": passed,
+            })
+        return ExperimentResult(self.experiment_id, self.title, rows, checks)
+
+
+_REGISTRY: Dict[str, Callable[[], Experiment]] = {}
+
+
+def register(factory: Callable[[], Experiment]) -> Callable[[], Experiment]:
+    instance = factory()
+    _REGISTRY[instance.experiment_id] = factory
+    return factory
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    try:
+        return _REGISTRY[experiment_id]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+def all_experiment_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# -- row helpers ---------------------------------------------------------------
+
+def find_row(rows: List[Row], **keys) -> Optional[Row]:
+    for row in rows:
+        if all(row.keys.get(name) == value for name, value in keys.items()):
+            return row
+    return None
+
+
+def value_of(rows: List[Row], value_name: str, **keys) -> float:
+    row = find_row(rows, **keys)
+    if row is None:
+        raise KeyError(f"no row matching {keys}")
+    return row.values[value_name]

@@ -1,0 +1,113 @@
+"""Figure 5 — bare-metal Dhrystone, accumulated MIPS.
+
+Sweeps core count x quantum x parallelization on both VPs and reports
+accumulated MIPS (total retired instructions / modeled wall-clock).
+
+Paper claims checked:
+
+* single-core AoA reaches ~10,000 MIPS, about 10x AVP64;
+* parallel execution roughly doubles/quadruples dual/quad-core MIPS;
+* small quanta reduce AoA performance (EL-switch overhead);
+* octa-core scaling dips (only 6 host performance cores);
+* sequential multicore stays near single-core MIPS.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..workloads.dhrystone import DhrystoneParams, dhrystone_software
+from .experiment import Expectation, Experiment, Row, register, value_of
+from .measure import make_config, run_workload
+
+CORE_COUNTS = (1, 2, 4, 8)
+QUANTA_US = (100.0, 1000.0, 5000.0)
+PLATFORMS = ("aoa", "avp64")
+
+#: Dhrystone iterations at scale=1.0 (paper-sized run: ~1.7e9 inst/core).
+FULL_ITERATIONS = 5_000_000
+
+
+@register
+class Fig5Dhrystone(Experiment):
+    experiment_id = "fig5"
+    title = "Bare-metal Dhrystone accumulated MIPS (Fig. 5)"
+    paper_reference = "Section V-A, Figure 5"
+
+    def collect(self, scale: float) -> List[Row]:
+        iterations = max(10_000, int(FULL_ITERATIONS * scale))
+        rows: List[Row] = []
+        for platform in PLATFORMS:
+            for cores in CORE_COUNTS:
+                software = dhrystone_software(cores, DhrystoneParams(iterations))
+                for quantum_us in QUANTA_US:
+                    for parallel in (False, True):
+                        config = make_config(cores, quantum_us, parallel)
+                        metrics = run_workload(platform, config, software)
+                        rows.append(Row(
+                            keys={"platform": platform, "cores": cores,
+                                  "quantum_us": quantum_us, "parallel": parallel},
+                            values={"mips": metrics.mips,
+                                    "wall_s": metrics.wall_seconds,
+                                    "instructions": metrics.instructions},
+                        ))
+        return rows
+
+    def expectations(self, scale: float = 1.0) -> List[Expectation]:
+        def aoa1(rows):
+            return value_of(rows, "mips", platform="aoa", cores=1,
+                            quantum_us=1000.0, parallel=False)
+
+        def avp1(rows):
+            return value_of(rows, "mips", platform="avp64", cores=1,
+                            quantum_us=1000.0, parallel=False)
+
+        def aoa(rows, cores, parallel=True, quantum=1000.0):
+            return value_of(rows, "mips", platform="aoa", cores=cores,
+                            quantum_us=quantum, parallel=parallel)
+
+        return [
+            Expectation(
+                "single-core AoA reaches ~10,000 MIPS",
+                "~10,000 MIPS",
+                lambda rows: 7_000 <= aoa1(rows) <= 13_000,
+                lambda rows: f"{aoa1(rows):.0f} MIPS",
+            ),
+            Expectation(
+                "AoA is ~10x AVP64 on a single core",
+                "~10x",
+                lambda rows: 7 <= aoa1(rows) / avp1(rows) <= 14,
+                lambda rows: f"{aoa1(rows) / avp1(rows):.1f}x",
+            ),
+            Expectation(
+                "dual-core parallel MIPS ~2x single-core",
+                "performance effectively doubles",
+                lambda rows: 1.7 <= aoa(rows, 2) / aoa1(rows) <= 2.3,
+                lambda rows: f"{aoa(rows, 2) / aoa1(rows):.2f}x",
+            ),
+            Expectation(
+                "quad-core parallel MIPS ~4x single-core",
+                "optimal speedup for quad-core",
+                lambda rows: 3.3 <= aoa(rows, 4) / aoa1(rows) <= 4.6,
+                lambda rows: f"{aoa(rows, 4) / aoa1(rows):.2f}x",
+            ),
+            Expectation(
+                "octa-core scaling dips below 8x (6 P-cores)",
+                "limited performance cores reduce achievable speedups",
+                lambda rows: aoa(rows, 8) / aoa1(rows) < 7.0,
+                lambda rows: f"{aoa(rows, 8) / aoa1(rows):.2f}x",
+            ),
+            Expectation(
+                "smaller quantum reduces AoA MIPS",
+                "smaller quantum values lead to decreased AoA performance",
+                lambda rows: aoa(rows, 4, quantum=100.0) < aoa(rows, 4, quantum=1000.0),
+                lambda rows: (f"{aoa(rows, 4, quantum=100.0):.0f} vs "
+                              f"{aoa(rows, 4, quantum=1000.0):.0f} MIPS"),
+            ),
+            Expectation(
+                "sequential multicore stays near single-core MIPS",
+                "parallelization does not help a single compute thread",
+                lambda rows: (0.7 <= aoa(rows, 8, parallel=False) / aoa1(rows) <= 1.3),
+                lambda rows: f"{aoa(rows, 8, parallel=False) / aoa1(rows):.2f}x",
+            ),
+        ]

@@ -1,0 +1,235 @@
+"""Figure 7 — benchmark speedup S of AoA over AVP64.
+
+1 ms quantum, parallel execution enabled, 1/2/4/8 cores.  Both VPs run the
+identical workload; speedup is the ratio of modeled wall-clock times
+(AVP64 / AoA).  The AoA VP runs with WFI annotations (the paper's §V-C
+setup notes annotation is essential for single-threaded workloads on
+multicore VPs).
+
+Workloads: bare-metal Dhrystone, the Linux boot, STREAM (10K/100K/1M),
+MiBench S/L variants, and the NAS Parallel Benchmarks.
+
+Paper claims checked:
+
+* MiBench speedups range from ~8x (basicmath L) to ~165x (susan S);
+* small MiBench variants beat large ones (translation amortization);
+* NPB minimum speedup ~1.8x (FT); EP (compute-bound) clearly higher;
+* Linux-boot speedup shrinks with core count (WFI trap cost on AoA);
+* Dhrystone speedup dips at 8 cores (host P-core limit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..vp.linux import LinuxBootParams, linux_boot_software
+from ..vp.software import GuestSoftware
+from ..workloads.dhrystone import DhrystoneParams, dhrystone_software
+from ..workloads.mibench import PROFILES as MIBENCH_PROFILES
+from ..workloads.mibench import mibench_software
+from ..workloads.npb import PROFILES as NPB_PROFILES
+from ..workloads.npb import npb_software
+from ..workloads.stream import StreamParams, stream_software
+from .experiment import Expectation, Experiment, Row, register, value_of
+from .measure import make_config, run_workload
+
+CORE_COUNTS = (1, 2, 4, 8)
+QUANTUM_US = 1000.0
+
+#: STREAM array sizes of Fig. 7.
+STREAM_SIZES = (10_000, 100_000, 1_000_000)
+
+
+def _scaled(value: int, scale: float, floor: int = 100_000) -> int:
+    return max(floor, int(value * scale))
+
+
+def _workload_matrix(scale: float) -> List[Tuple[str, Callable[[int], GuestSoftware], dict]]:
+    """(label, software factory per core count, run options)."""
+    matrix: List[Tuple[str, Callable[[int], GuestSoftware], dict]] = []
+    matrix.append((
+        "dhrystone",
+        lambda cores: dhrystone_software(
+            cores, DhrystoneParams(iterations=_scaled(5_000_000, scale, 20_000))),
+        {},
+    ))
+    boot_params = LinuxBootParams().scaled(scale)
+    matrix.append((
+        "linux-boot",
+        lambda cores: linux_boot_software(cores, boot_params),
+        {"stop_on_boot": True, "max_sim_seconds": 3000.0},
+    ))
+    for elements in STREAM_SIZES:
+        matrix.append((
+            f"stream-{elements // 1000}K" if elements < 1_000_000 else "stream-1M",
+            lambda cores, elements=elements: stream_software(
+                cores, StreamParams(array_elements=elements,
+                                    ntimes=max(2, int(10 * scale)))),
+            {},
+        ))
+    for benchmark in MIBENCH_PROFILES:
+        for variant in ("small", "large"):
+            matrix.append((
+                f"{benchmark}-{variant[0].upper()}",
+                lambda cores, b=benchmark, v=variant: _scaled_mibench(b, v, cores, scale),
+                {},
+            ))
+    for benchmark in NPB_PROFILES:
+        matrix.append((
+            f"npb-{benchmark}",
+            lambda cores, b=benchmark: _scaled_npb(b, cores, scale),
+            {},
+        ))
+    return matrix
+
+
+def _scaled_mibench(benchmark: str, variant: str, cores: int, scale: float) -> GuestSoftware:
+    software = mibench_software(benchmark, variant, cores)
+    if scale >= 1.0:
+        return software
+    # Rebuild with scaled instruction counts while keeping the static-block
+    # footprint (translation cost must not scale — it is the phenomenon).
+    from ..iss.phase import Compute
+    from ..workloads.base import WorkloadInfo, user_space_software
+    profile = MIBENCH_PROFILES[benchmark]
+    total = _scaled(profile.instructions(variant), scale)
+
+    def main_program(ctx):
+        remaining = total
+        while remaining > 0:
+            take = min(10_000_000, remaining)
+            yield Compute(take, key=f"mibench_{benchmark}",
+                          static_blocks=profile.static_blocks,
+                          avg_block_len=profile.avg_block_len,
+                          mem_fraction=profile.mem_fraction)
+            remaining -= take
+
+    info = WorkloadInfo(f"{benchmark}-{variant[0].upper()}-{cores}c", "userspace",
+                        total, False)
+    return user_space_software(info.name, cores, main_program, info=info)
+
+
+def _scaled_npb(benchmark: str, cores: int, scale: float) -> GuestSoftware:
+    if scale >= 1.0:
+        return npb_software(benchmark, cores)
+    from dataclasses import replace
+
+    from ..workloads import npb as npb_module
+    profile = NPB_PROFILES[benchmark]
+    scaled_profile = replace(
+        profile,
+        iterations=max(2, int(profile.iterations * max(scale, 0.05))),
+        work_per_segment=_scaled(profile.work_per_segment, scale, 10_000),
+    )
+    original = npb_module.PROFILES[benchmark]
+    npb_module.PROFILES[benchmark] = scaled_profile
+    try:
+        return npb_software(benchmark, cores)
+    finally:
+        npb_module.PROFILES[benchmark] = original
+
+
+@register
+class Fig7Speedup(Experiment):
+    experiment_id = "fig7"
+    title = "Benchmark speedup of AoA vs AVP64, 1 ms quantum, parallel (Fig. 7)"
+    paper_reference = "Section V-C, Figure 7"
+
+    core_counts = CORE_COUNTS
+
+    def collect(self, scale: float) -> List[Row]:
+        rows: List[Row] = []
+        for label, factory, options in _workload_matrix(scale):
+            for cores in self.core_counts:
+                software = factory(cores)
+                aoa_config = make_config(cores, QUANTUM_US, True, wfi_annotations=True)
+                avp_config = make_config(cores, QUANTUM_US, True, wfi_annotations=False)
+                aoa = run_workload("aoa", aoa_config, software, **options)
+                avp = run_workload("avp64", avp_config, software, **options)
+                speedup = avp.wall_seconds / aoa.wall_seconds if aoa.wall_seconds else 0.0
+                rows.append(Row(
+                    keys={"workload": label, "cores": cores},
+                    values={"speedup": speedup,
+                            "aoa_wall_s": aoa.wall_seconds,
+                            "avp64_wall_s": avp.wall_seconds},
+                ))
+        return rows
+
+    def expectations(self, scale: float = 1.0) -> List[Expectation]:
+        def speedup(rows, workload, cores=1):
+            return value_of(rows, "speedup", workload=workload, cores=cores)
+
+        return [
+            Expectation(
+                "susan S reaches very high speedup (translation-bound)",
+                "~165x for Susan S on single-core VPs",
+                lambda rows: speedup(rows, "susan_s-S") > 60,
+                lambda rows: f"{speedup(rows, 'susan_s-S'):.0f}x",
+            ),
+            Expectation(
+                "basicmath L speedup is modest (dispatch-bound)",
+                "~8x for Basicmath L",
+                lambda rows: 5 <= speedup(rows, "basicmath-L") <= 14,
+                lambda rows: f"{speedup(rows, 'basicmath-L'):.1f}x",
+            ),
+            Expectation(
+                "every MiBench small variant beats its large variant",
+                "smaller variants achieve higher speedups",
+                lambda rows: all(
+                    speedup(rows, f"{b}-S") > speedup(rows, f"{b}-L")
+                    for b in ("basicmath", "bitcount", "qsort", "susan_s")
+                ),
+                lambda rows: ", ".join(
+                    f"{b}: {speedup(rows, f'{b}-S'):.0f}x/"
+                    f"{speedup(rows, f'{b}-L'):.0f}x"
+                    for b in ("basicmath", "susan_s")
+                ),
+            ),
+            Expectation(
+                "NPB stays above ~1.8x, FT is the weakest",
+                "minimum speedup of 1.8x for the FT benchmark",
+                lambda rows: (
+                    all(speedup(rows, f"npb-{b}", 8) >= 1.3 for b in NPB_PROFILES)
+                    and speedup(rows, "npb-ft", 8)
+                    == min(speedup(rows, f"npb-{b}", 8) for b in NPB_PROFILES)
+                ),
+                lambda rows: ", ".join(
+                    f"{b}: {speedup(rows, f'npb-{b}', 8):.1f}x" for b in NPB_PROFILES
+                ),
+            ),
+            Expectation(
+                "NPB EP (compute-bound) beats the communication-heavy kernels",
+                "CG, FT, MG cause more overhead than the other workloads",
+                lambda rows: speedup(rows, "npb-ep", 8) > 1.5 * speedup(rows, "npb-ft", 8),
+                lambda rows: (f"ep {speedup(rows, 'npb-ep', 8):.1f}x vs "
+                              f"ft {speedup(rows, 'npb-ft', 8):.1f}x"),
+            ),
+            Expectation(
+                "Linux-boot speedup shrinks as core count grows",
+                "increased core counts reduce the speedup (WFI trap cost)",
+                lambda rows: (speedup(rows, "linux-boot", 8)
+                              < speedup(rows, "linux-boot", 1)),
+                lambda rows: (f"1c: {speedup(rows, 'linux-boot', 1):.1f}x, "
+                              f"8c: {speedup(rows, 'linux-boot', 8):.1f}x"),
+            ),
+            Expectation(
+                "Dhrystone speedup dips at eight cores",
+                "dip in speedup for eight simulated cores",
+                lambda rows: (speedup(rows, "dhrystone", 8)
+                              < 0.85 * speedup(rows, "dhrystone", 4)),
+                lambda rows: (f"4c: {speedup(rows, 'dhrystone', 4):.1f}x, "
+                              f"8c: {speedup(rows, 'dhrystone', 8):.1f}x"),
+            ),
+            Expectation(
+                "STREAM speedups exceed the Dhrystone baseline",
+                "software MMU translations incur significant ISS overhead",
+                lambda rows: all(
+                    speedup(rows, f"stream-{s}") > speedup(rows, "dhrystone")
+                    for s in ("10K", "100K", "1M")
+                ),
+                lambda rows: ", ".join(
+                    f"{s}: {speedup(rows, f'stream-{s}'):.1f}x"
+                    for s in ("10K", "100K", "1M")
+                ),
+            ),
+        ]

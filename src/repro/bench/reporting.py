@@ -1,0 +1,90 @@
+"""Plain-text and markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .experiment import ExperimentResult
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Fixed-width table of all measurement rows."""
+    if not result.rows:
+        return "(no rows)"
+    key_names = list(result.rows[0].keys)
+    value_names = list(result.rows[0].values)
+    headers = key_names + value_names
+    table: List[List[str]] = [headers]
+    for row in result.rows:
+        cells = [_format_value(row.keys[name]) for name in key_names]
+        cells += [_format_value(row.values[name]) for name in value_names]
+        table.append(cells)
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_checks(result: ExperimentResult) -> str:
+    if not result.checks:
+        return "(no paper-claim checks)"
+    lines = []
+    for check in result.checks:
+        status = "PASS" if check["passed"] else "FAIL"
+        lines.append(f"[{status}] {check['description']}")
+        lines.append(f"       paper:    {check['paper']}")
+        lines.append(f"       measured: {check['measured']}")
+    return "\n".join(lines)
+
+
+def render_result(result: ExperimentResult) -> str:
+    banner = f"=== {result.experiment_id}: {result.title} ==="
+    parts = [banner, render_table(result), "", render_checks(result)]
+    if result.notes:
+        parts.append("")
+        parts.append(result.notes)
+    return "\n".join(parts)
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    """Markdown section (used to regenerate EXPERIMENTS.md)."""
+    lines = [f"### {result.experiment_id} — {result.title}", ""]
+    if result.rows:
+        key_names = list(result.rows[0].keys)
+        value_names = list(result.rows[0].values)
+        headers = key_names + value_names
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in result.rows:
+            cells = [_format_value(row.keys[k]) for k in key_names]
+            cells += [_format_value(row.values[v]) for v in value_names]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    if result.checks:
+        lines.append("| paper claim | paper value | measured | status |")
+        lines.append("|---|---|---|---|")
+        for check in result.checks:
+            status = "✅" if check["passed"] else "❌"
+            lines.append(
+                f"| {check['description']} | {check['paper']} "
+                f"| {check['measured']} | {status} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

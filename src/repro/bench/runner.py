@@ -1,0 +1,58 @@
+"""Command-line entry point: ``repro-bench`` / ``python -m repro.bench``.
+
+Runs the figure experiments and ablations, prints each result table with
+its paper-claim checks, and can emit markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from . import ablations, fig5, fig6, fig7  # noqa: F401  (register experiments)
+from .experiment import all_experiment_ids, get_experiment
+from .reporting import render_markdown, render_result
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's figures on the simulated platforms.",
+    )
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help=f"experiment ids (default: all of {all_experiment_ids()})")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="workload scale factor; 1.0 = paper-sized runs "
+                             "(default 0.02 for a fast pass)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit markdown sections instead of tables")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in all_experiment_ids():
+            experiment = get_experiment(experiment_id)
+            print(f"{experiment_id:20s} {experiment.title}")
+        return 0
+
+    ids = args.experiments or all_experiment_ids()
+    failures = 0
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        started = time.perf_counter()
+        result = experiment.run(scale=args.scale)
+        elapsed = time.perf_counter() - started
+        if args.markdown:
+            print(render_markdown(result))
+        else:
+            print(render_result(result))
+            print(f"(ran in {elapsed:.1f} s at scale {args.scale})")
+            print()
+        failures += sum(1 for check in result.checks if not check["passed"])
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

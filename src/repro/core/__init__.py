@@ -1,0 +1,21 @@
+"""The paper's contribution: the multicore KVM-backed SystemC-TLM CPU model,
+the software watchdog with kick-id filtering, WFI annotations, and the
+DBT-ISS baseline CPU model."""
+
+from .iss_cpu import IssCpu
+from .kvm_cpu import KvmCpu
+from .watchdog import KickGuard, UnguardedKick, Watchdog, WatchdogEntry
+from .wfi import IDLE_SYMBOL, WfiAnnotationError, WfiAnnotator, try_annotate
+
+__all__ = [
+    "IDLE_SYMBOL",
+    "IssCpu",
+    "KickGuard",
+    "KvmCpu",
+    "UnguardedKick",
+    "Watchdog",
+    "WatchdogEntry",
+    "WfiAnnotationError",
+    "WfiAnnotator",
+    "try_annotate",
+]

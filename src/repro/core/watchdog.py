@@ -1,0 +1,145 @@
+"""Software-based watchdog timer (§IV-B, Listing 1).
+
+The paper replaces perf-counter-based run limiting (which Apple-Silicon
+hosts under Asahi Linux cannot provide) with a software watchdog: a timer
+thread shared by all cores that, on expiry, sends ``SIGUSR1`` to the thread
+sitting in ``KVM_RUN`` — but only if the run that armed it is still the
+active one.  Staleness is detected with a per-core *kick id*
+(``m_kickid``): every ``KVM_RUN`` increments the id, and an expiring timer
+compares the id it captured at arm time against the current one.
+
+In this model the timer thread's clock is the per-core modeled host time;
+:meth:`Watchdog.advance` plays the role of the thread waking up and firing
+due timers.  The kick-id filtering logic is reproduced verbatim, and the
+ablation benchmark ``bench_ablation_watchdog`` shows what goes wrong
+without it (stale kicks aborting fresh runs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Tuple
+
+
+class WatchdogEntry:
+    __slots__ = ("deadline_ns", "seq", "callback", "cancelled")
+
+    def __init__(self, deadline_ns: float, seq: int, callback: Callable[[], None]):
+        self.deadline_ns = deadline_ns
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "WatchdogEntry") -> bool:
+        return (self.deadline_ns, self.seq) < (other.deadline_ns, other.seq)
+
+
+class Watchdog:
+    """Shared watchdog timer; one timeline per core's vcpu thread."""
+
+    def __init__(self):
+        self._timelines: Dict[int, List[WatchdogEntry]] = {}
+        self._seq = itertools.count()
+        self.num_scheduled = 0
+        self.num_fired = 0
+        self.num_cancelled = 0
+
+    def schedule(self, core_id: int, now_ns: float, timeout_ns: float,
+                 callback: Callable[[], None]) -> WatchdogEntry:
+        """Arm a timer that calls ``callback`` once ``timeout_ns`` from now."""
+        if timeout_ns < 0:
+            raise ValueError(f"negative watchdog timeout: {timeout_ns}")
+        entry = WatchdogEntry(now_ns + timeout_ns, next(self._seq), callback)
+        heapq.heappush(self._timelines.setdefault(core_id, []), entry)
+        self.num_scheduled += 1
+        return entry
+
+    def cancel(self, entry: WatchdogEntry) -> None:
+        if not entry.cancelled:
+            entry.cancelled = True
+            self.num_cancelled += 1
+
+    def advance(self, core_id: int, now_ns: float) -> int:
+        """Fire every due timer on this core's timeline; returns count fired."""
+        timeline = self._timelines.get(core_id)
+        if not timeline:
+            return 0
+        fired = 0
+        while timeline and timeline[0].deadline_ns <= now_ns:
+            entry = heapq.heappop(timeline)
+            if entry.cancelled:
+                continue
+            entry.callback()
+            fired += 1
+            self.num_fired += 1
+        return fired
+
+    def pending(self, core_id: int) -> int:
+        return sum(1 for entry in self._timelines.get(core_id, []) if not entry.cancelled)
+
+
+class KickGuard:
+    """The per-core kick-id filter from Listing 1.
+
+    ``cpu::kick`` only forwards the signal when the expiring timer's id
+    matches the id of the currently active KVM_RUN::
+
+        void cpu::kick(unsigned int id) {
+            if (id == m_kickid)
+                pthread_kill(m_self, SIGUSR1);
+        }
+    """
+
+    def __init__(self, deliver_signal: Callable[[], None]):
+        self._deliver_signal = deliver_signal   # pthread_kill(m_self, SIGUSR1)
+        self.m_kickid = 0
+        self.num_kicks_delivered = 0
+        self.num_kicks_filtered = 0
+
+    def kick(self, kick_id: int) -> None:
+        """Called by the watchdog thread when a timer expires."""
+        if kick_id == self.m_kickid:
+            self.num_kicks_delivered += 1
+            self._deliver_signal()
+        else:
+            self.num_kicks_filtered += 1
+
+    def arm(self, watchdog: Watchdog, core_id: int, now_ns: float,
+            timeout_ns: float) -> WatchdogEntry:
+        """Schedule a kick for the *current* run id (Listing 1, lines 7-8)."""
+        kick_id = self.m_kickid
+        return watchdog.schedule(core_id, now_ns, timeout_ns,
+                                 lambda: self.kick(kick_id))
+
+    def next_run(self) -> None:
+        """Increment ``m_kickid`` after a KVM_RUN returns (§IV-A)."""
+        self.m_kickid += 1
+
+
+class UnguardedKick:
+    """Ablation variant: no id filtering — every expiry kicks.
+
+    Demonstrates the failure mode the kick id prevents: a timer armed for a
+    run that exited early (e.g. on MMIO) fires later and spuriously aborts
+    whatever run is active by then.
+    """
+
+    def __init__(self, deliver_signal: Callable[[], None]):
+        self._deliver_signal = deliver_signal
+        self.m_kickid = 0
+        self.num_kicks_delivered = 0
+        self.num_kicks_filtered = 0
+
+    def kick(self, kick_id: int) -> None:
+        self.num_kicks_delivered += 1
+        self._deliver_signal()
+
+    def arm(self, watchdog: Watchdog, core_id: int, now_ns: float,
+            timeout_ns: float) -> WatchdogEntry:
+        kick_id = self.m_kickid
+        return watchdog.schedule(core_id, now_ns, timeout_ns,
+                                 lambda: self.kick(kick_id))
+
+    def next_run(self) -> None:
+        self.m_kickid += 1

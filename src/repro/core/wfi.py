@@ -1,0 +1,100 @@
+"""WFI annotations (§IV-C).
+
+KVM handles guest WFI in the kernel: the vcpu thread blocks until an
+interrupt, and user space is never told.  For an event-driven simulator
+that is the worst case — idle loops burn a full quantum of wall time per
+core per window (Fig. 6a).  Older work patched the kernel to forward WFI to
+user space; this paper instead:
+
+1. searches the target software's ELF for the ``cpu_do_idle`` symbol
+   (Linux's idle entry point — Linux only executes WFI there),
+2. locates the ``WFI`` instruction inside that function,
+3. plants a guest-debug (hardware) breakpoint on it, and
+4. on every breakpoint exit verifies the PC against the annotated address
+   to distinguish it from user breakpoints.
+
+When the check passes the SystemC core model suspends itself until the next
+interrupt — idle time is skipped instead of simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..arch.elf import ElfLite
+from ..arch.isa import Op
+
+#: The symbol Linux executes its idle WFI in.
+IDLE_SYMBOL = "cpu_do_idle"
+
+#: How many instructions of cpu_do_idle to scan before giving up.
+_SCAN_LIMIT_WORDS = 64
+
+
+class WfiAnnotationError(Exception):
+    """The target image does not allow WFI annotation."""
+
+
+class WfiAnnotator:
+    """Finds and manages the annotated WFI addresses of a target image."""
+
+    def __init__(self, image: ElfLite, idle_symbol: str = IDLE_SYMBOL):
+        self.image = image
+        self.idle_symbol = idle_symbol
+        self._wfi_addresses: List[int] = []
+        self._resolve()
+
+    def _resolve(self) -> None:
+        # Step 1: symbol search.
+        symbol_address = self.image.find_symbol(self.idle_symbol)
+        if symbol_address is None:
+            raise WfiAnnotationError(
+                f"symbol {self.idle_symbol!r} not found — is the target a Linux image?"
+            )
+        # Step 2: locate the WFI instruction inside the function.  A RET
+        # before any WFI means the function never idles via WFI.
+        wfi_address = self.image.find_instruction(
+            Op.WFI,
+            start=symbol_address,
+            limit_words=_SCAN_LIMIT_WORDS,
+            stop_predicate=lambda inst: inst.op is Op.RET,
+        )
+        if wfi_address is None:
+            raise WfiAnnotationError(
+                f"no WFI instruction inside {self.idle_symbol!r} "
+                f"(searched {_SCAN_LIMIT_WORDS} words from 0x{symbol_address:x})"
+            )
+        self._wfi_addresses = [wfi_address]
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def wfi_addresses(self) -> List[int]:
+        return list(self._wfi_addresses)
+
+    @property
+    def primary_address(self) -> int:
+        return self._wfi_addresses[0]
+
+    def verify_pc(self, pc: int) -> bool:
+        """Step 4: is this breakpoint exit one of *our* annotations?"""
+        return pc in self._wfi_addresses
+
+    # -- application ---------------------------------------------------------------
+    def apply(self, vcpus: Iterable) -> None:
+        """Step 3: install the breakpoints on every vcpu (KVM_SET_GUEST_DEBUG)."""
+        for vcpu in vcpus:
+            existing = set(getattr(vcpu, "_debug_breakpoints", set()))
+            vcpu.set_guest_debug(existing | set(self._wfi_addresses))
+
+    def remove(self, vcpus: Iterable) -> None:
+        for vcpu in vcpus:
+            existing = set(getattr(vcpu, "_debug_breakpoints", set()))
+            vcpu.set_guest_debug(existing - set(self._wfi_addresses))
+
+
+def try_annotate(image: ElfLite, idle_symbol: str = IDLE_SYMBOL) -> Optional[WfiAnnotator]:
+    """Build an annotator if the image supports it, else None (bare metal)."""
+    try:
+        return WfiAnnotator(image, idle_symbol)
+    except WfiAnnotationError:
+        return None

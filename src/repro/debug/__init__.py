@@ -1,0 +1,12 @@
+"""Interactive VP debugging — the "real-time debugging" the paper's
+introduction motivates.
+
+:class:`Debugger` attaches to one core of a running platform and provides
+breakpoints (the same guest-debug machinery the WFI annotations use),
+single-stepping, register and memory inspection (through debug transport,
+so device state is never disturbed), symbol resolution and disassembly.
+"""
+
+from .debugger import Debugger, StopInfo, StopReason
+
+__all__ = ["Debugger", "StopInfo", "StopReason"]

@@ -1,0 +1,218 @@
+"""A gdb-style debugger for interpreter-mode guests.
+
+Execution control rides the platform's own machinery: breakpoints are the
+CPU model's guest-debug breakpoints (DEBUG exits in the KVM model), and a
+hit parks the core's SystemC thread (``SimulateAction.BREAK``) and stops
+the kernel, handing control back to the debugger with all models in a
+consistent state.  ``continue_()`` resumes the parked thread and re-runs
+the simulation.
+
+Single-stepping is *functional*: it executes exactly one guest instruction
+outside the quantum loop (MMIO is still routed through the TLM bus), so
+simulated time does not advance during a step — the usual trade-off VP
+debug stubs make.
+
+Memory inspection uses debug transport (``transport_dbg``), which bypasses
+latency annotation and side effects, so reading a UART's data register
+from the debugger does not pop its FIFO.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Union
+
+from ..arch.disasm import disassemble_range
+from ..arch.isa import SysReg
+from ..systemc.time import SimTime
+from ..tlm.payload import GenericPayload
+
+
+class StopReason(enum.Enum):
+    BREAKPOINT = "breakpoint"
+    HALTED = "halted"
+    SHUTDOWN = "shutdown"
+    TIMEOUT = "timeout"
+    STEPPED = "stepped"
+
+
+@dataclass
+class StopInfo:
+    reason: StopReason
+    pc: int
+    symbol: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f"0x{self.pc:x}"
+        if self.symbol:
+            where += f" <{self.symbol}>"
+        return f"{self.reason.value} at {where}"
+
+
+class Debugger:
+    """Debug one core of a platform running an interpreter-mode guest."""
+
+    def __init__(self, platform, core: int = 0):
+        self.platform = platform
+        self.cpu = platform.cpus[core]
+        self.executor = self._interpreter()
+        self.image = platform.software.image
+        self.breakpoints: Set[int] = set()
+        self.cpu.debug_break_enabled = True
+
+    def _interpreter(self):
+        executor = getattr(self.cpu, "vcpu", None)
+        executor = executor.executor if executor is not None else self.cpu.executor
+        if not hasattr(executor, "state"):
+            raise TypeError("the debugger needs an interpreter-mode guest")
+        return executor
+
+    @property
+    def state(self):
+        return self.executor.state
+
+    # -- breakpoints -----------------------------------------------------------
+    def resolve(self, location: Union[int, str]) -> int:
+        """An address, or a symbol name from the guest image."""
+        if isinstance(location, int):
+            return location
+        return self.image.require_symbol(location)
+
+    def add_breakpoint(self, location: Union[int, str]) -> int:
+        address = self.resolve(location)
+        self.breakpoints.add(address)
+        self.executor.set_breakpoint(address)
+        return address
+
+    def remove_breakpoint(self, location: Union[int, str]) -> None:
+        address = self.resolve(location)
+        self.breakpoints.discard(address)
+        # Never clear a WFI annotation's breakpoint out from under the VP.
+        annotator = getattr(self.cpu, "annotator", None)
+        if annotator is None or not annotator.verify_pc(address):
+            self.executor.clear_breakpoint(address)
+
+    # -- execution control ----------------------------------------------------------
+    def continue_(self, max_time: Optional[SimTime] = None) -> StopInfo:
+        """Run until a breakpoint, halt, shutdown, or the time limit."""
+        if self.cpu.debug_paused:
+            self.cpu.debug_resume_event.notify()
+        self.platform.run(max_time if max_time is not None else SimTime.seconds(10))
+        return self._stop_info()
+
+    def step(self, count: int = 1) -> StopInfo:
+        """Execute ``count`` instructions functionally (time stands still)."""
+        from ..iss.executor import ExitReason
+
+        for _ in range(count):
+            if self.state.halted:
+                break
+            info = self.executor.run(1)
+            if info.reason is ExitReason.MMIO:
+                self._complete_mmio(info.mmio)
+            elif info.reason is ExitReason.BREAKPOINT:
+                # Stepping lands on another breakpoint: report, stay put.
+                return self._stop_info()
+        return StopInfo(StopReason.STEPPED, self.state.pc,
+                        self.image.symbol_at(self.state.pc))
+
+    def _complete_mmio(self, request) -> None:
+        if request.is_write:
+            payload = GenericPayload.write(request.address, request.data)
+        else:
+            payload = GenericPayload.read(request.address, request.size)
+        self.cpu.data_socket.b_transport(payload, SimTime.zero())
+        data = bytes(payload.data) if not request.is_write else None
+        if not payload.response_status.is_ok:
+            data = bytes(request.size) if not request.is_write else None
+        self.executor.complete_mmio(data)
+
+    def _stop_info(self) -> StopInfo:
+        pc = self.state.pc
+        symbol = self.image.symbol_at(pc)
+        if self.platform.simctl.shutdown_requested:
+            return StopInfo(StopReason.SHUTDOWN, pc, symbol)
+        if self.cpu.halted or self.state.halted:
+            return StopInfo(StopReason.HALTED, pc, symbol)
+        if self.cpu.debug_paused:
+            return StopInfo(StopReason.BREAKPOINT, pc, symbol)
+        return StopInfo(StopReason.TIMEOUT, pc, symbol)
+
+    # -- inspection ---------------------------------------------------------------------
+    def registers(self) -> Dict[str, int]:
+        state = self.state
+        regs = {f"x{i}": state.regs[i] for i in range(31)}
+        regs["sp"] = state.sp
+        regs["pc"] = state.pc
+        regs["el"] = state.el
+        regs["nzcv"] = (int(state.flag_n) << 3 | int(state.flag_z) << 2
+                        | int(state.flag_c) << 1 | int(state.flag_v))
+        return regs
+
+    def read_register(self, name: str) -> int:
+        return self.registers()[name]
+
+    def write_register(self, name: str, value: int) -> None:
+        state = self.state
+        if name == "pc":
+            state.pc = value
+        elif name == "sp":
+            state.sp = value
+        elif name.startswith("x") and name[1:].isdigit():
+            state.write_reg(int(name[1:]), value)
+        else:
+            raise KeyError(f"unknown register {name!r}")
+
+    def read_sysreg(self, name: str) -> int:
+        return self.state.read_sysreg(SysReg[name.upper()])
+
+    def read_memory(self, address: int, length: int) -> bytes:
+        """Side-effect-free memory read through debug transport."""
+        payload = GenericPayload.read(address, length)
+        if self.cpu.data_socket.transport_dbg(payload) != length:
+            raise IOError(f"debug read of {length} bytes at 0x{address:x} failed")
+        return bytes(payload.data)
+
+    def write_memory(self, address: int, data: bytes) -> None:
+        payload = GenericPayload.write(address, data)
+        if self.cpu.data_socket.transport_dbg(payload) != len(data):
+            raise IOError(f"debug write of {len(data)} bytes at 0x{address:x} failed")
+
+    def disassemble(self, location: Union[int, str, None] = None,
+                    count: int = 8) -> List[str]:
+        """Disassembly around ``location`` (defaults to the current PC)."""
+        start = self.state.pc if location is None else self.resolve(location)
+
+        def read_word(address: int) -> Optional[int]:
+            try:
+                return int.from_bytes(self.read_memory(address, 4), "little")
+            except IOError:
+                return None
+
+        lines = []
+        for address, _word, text in disassemble_range(
+                read_word, start, count, symbol_at=self._exact_symbol):
+            marker = "=>" if address == self.state.pc else "  "
+            lines.append(f"{marker} 0x{address:08x}:  {text}")
+        return lines
+
+    def _exact_symbol(self, address: int) -> Optional[str]:
+        for symbol in self.image.symbols:
+            if symbol.address == address:
+                return symbol.name
+        return None
+
+    def where(self) -> str:
+        pc = self.state.pc
+        symbol = self.image.symbol_at(pc)
+        return f"pc=0x{pc:x}" + (f" in {symbol}" if symbol else "")
+
+    def backtrace_hint(self) -> List[str]:
+        """LR-based call hint (A64-lite has no frame pointers)."""
+        lr = self.state.lr
+        hints = [self.where()]
+        symbol = self.image.symbol_at(lr)
+        if symbol:
+            hints.append(f"called from 0x{lr:x} in {symbol}")
+        return hints

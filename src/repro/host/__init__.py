@@ -1,0 +1,29 @@
+"""Host modeling: machine descriptions, calibrated cost parameters, and the
+wall-clock ledger that turns billed host work into the figures' seconds."""
+
+from .accounting import HostLedger
+from .machine import MAIN_LANE, CoreKind, HostCore, HostMachine, amd_ryzen_3900x, apple_m2_pro
+from .params import (
+    DEFAULT_ISS_COSTS,
+    DEFAULT_KVM_COSTS,
+    DEFAULT_SIM_COSTS,
+    IssCostParams,
+    KvmCostParams,
+    SimulationCostParams,
+)
+
+__all__ = [
+    "CoreKind",
+    "DEFAULT_ISS_COSTS",
+    "DEFAULT_KVM_COSTS",
+    "DEFAULT_SIM_COSTS",
+    "HostCore",
+    "HostLedger",
+    "HostMachine",
+    "IssCostParams",
+    "KvmCostParams",
+    "MAIN_LANE",
+    "SimulationCostParams",
+    "amd_ryzen_3900x",
+    "apple_m2_pro",
+]

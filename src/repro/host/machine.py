@@ -1,0 +1,89 @@
+"""Host machine models.
+
+Describes the physical machine a VP runs on: how many cores, which are
+performance vs efficiency cores, and how simulation lanes (the main SystemC
+thread plus one worker per simulated core in parallel mode) are placed onto
+them.  Lane placement is what produces the octa-core dip in Fig. 5: an
+M2 Pro has six performance cores, so a main thread plus eight workers spills
+three workers onto efficiency cores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+MAIN_LANE = -1
+
+
+class CoreKind(enum.Enum):
+    PERFORMANCE = "performance"
+    EFFICIENCY = "efficiency"
+
+
+@dataclass(frozen=True)
+class HostCore:
+    name: str
+    kind: CoreKind
+    frequency_ghz: float
+    #: relative execution-speed factor (1.0 = reference performance core)
+    speed: float = 1.0
+
+
+@dataclass
+class HostMachine:
+    """A host with a fixed set of cores and a lane-placement policy."""
+
+    name: str
+    cores: List[HostCore] = field(default_factory=list)
+
+    @property
+    def performance_cores(self) -> List[HostCore]:
+        return [core for core in self.cores if core.kind is CoreKind.PERFORMANCE]
+
+    @property
+    def efficiency_cores(self) -> List[HostCore]:
+        return [core for core in self.cores if core.kind is CoreKind.EFFICIENCY]
+
+    def place_lanes(self, num_core_lanes: int, parallel: bool) -> Dict[int, HostCore]:
+        """Assign simulation lanes to host cores.
+
+        Returns a mapping lane -> host core.  Lane ``MAIN_LANE`` is the
+        SystemC main thread; lanes 0..N-1 are per-simulated-core workers.
+        In sequential mode every lane maps to the same (fastest) core, since
+        all work runs in the main thread.  In parallel mode the main thread
+        takes the first performance core and workers fill the remaining
+        performance cores before spilling onto efficiency cores.
+        """
+        ordered = sorted(self.cores, key=lambda core: -core.speed)
+        if not ordered:
+            raise ValueError(f"host machine {self.name!r} has no cores")
+        placement: Dict[int, HostCore] = {MAIN_LANE: ordered[0]}
+        if not parallel:
+            for lane in range(num_core_lanes):
+                placement[lane] = ordered[0]
+            return placement
+        pool = ordered[1:] + ordered[:1]   # main thread took ordered[0]
+        for lane in range(num_core_lanes):
+            placement[lane] = pool[lane % len(pool)] if pool else ordered[0]
+        return placement
+
+    def lane_speed(self, lane: int, num_core_lanes: int, parallel: bool) -> float:
+        return self.place_lanes(num_core_lanes, parallel)[lane].speed
+
+
+def apple_m2_pro() -> HostMachine:
+    """The paper's AoA host: Mac mini, M2 Pro, 6P (Avalanche) + 4E (Blizzard)."""
+    cores = [
+        HostCore(f"avalanche{i}", CoreKind.PERFORMANCE, 3.7, speed=1.0) for i in range(6)
+    ] + [
+        HostCore(f"blizzard{i}", CoreKind.EFFICIENCY, 3.4, speed=1.0 / 1.8) for i in range(4)
+    ]
+    return HostMachine("Apple M2 Pro (Mac mini)", cores)
+
+
+def amd_ryzen_3900x() -> HostMachine:
+    """The paper's ISS host: AMD Ryzen 9 3900X, 12 uniform cores."""
+    cores = [HostCore(f"zen2-{i}", CoreKind.PERFORMANCE, 3.8, speed=1.0) for i in range(12)]
+    return HostMachine("AMD Ryzen 9 3900X", cores)

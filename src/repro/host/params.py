@@ -1,0 +1,94 @@
+"""Calibrated host-cost parameters.
+
+The paper's results are wall-clock measurements on two physical hosts:
+
+* the AoA VP on an Apple Mac mini (M2 Pro: 6 performance + 4 efficiency
+  cores), and
+* the ISS-based AVP64 on an AMD Ryzen 9 3900X.
+
+Neither host (nor KVM) is available here, so every host-side activity is
+billed modeled nanoseconds from the parameter sets below.  Values are
+derived from the paper's headline numbers and public microarchitecture
+data; the derivations matter more than the digits, because the reproduced
+artifact is the *shape* of each figure:
+
+``native_ns_per_inst`` — Fig. 5 reports ≈ 10,000 accumulated MIPS for a
+single-core AoA VP, i.e. 0.1 ns of host wall time per guest instruction
+(superscalar execution at 3.7 GHz).  Efficiency cores get a 1.8× slowdown
+(3.4 GHz Blizzard, narrower issue) — that asymmetry produces the octa-core
+dip in Fig. 5.
+
+``entry_exit_ns`` / ``mmio_roundtrip_ns`` — ARM EL2 world switches cost a
+few hundred ns; a full KVM_RUN round trip with ioctl overhead lands in the
+~2 µs range, and a user-space MMIO exit roughly doubles that [20].  These
+terms make small quanta expensive for AoA (Fig. 5, 100 µs curves).
+
+``dbt_dispatch_ns_per_inst`` — AVP64's DBT ISS reaches ≈ 1,000 MIPS in
+steady state (Fig. 5), i.e. 1 ns per instruction.
+
+``dbt_translation_ns_per_block`` — MiBench *small* variants reach 165×
+speedup versus ≈ 8× for *large* variants (Fig. 7).  The difference is
+translation amortization, which calibrates the per-block translation cost
+to the ~20 µs range (decode + IR + host-code emission per block).
+
+``iss_mem_extra_ns`` / ``iss_tlb_miss_ns`` — software MMU translation per
+memory access; drives the STREAM results (Fig. 7), where the AoA model uses
+the host MMU's two-stage translation for free.
+
+``iss_wfi_ns`` vs ``wfi_trap_ns``/``debug_exit_ns`` — for an ISS, WFI is an
+in-process C++ call; for AoA it is at least an EL2 trap and, with WFI
+annotations, a debug exit to user space.  This asymmetry shrinks the
+Linux-boot speedup at higher core counts (Fig. 7), as §V-C notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KvmCostParams:
+    """Host-time costs of the KVM/AoA execution path (M2 Pro host)."""
+
+    native_ns_per_inst: float = 0.10       # P-core guest IPC*freq => 10,000 MIPS
+    efficiency_slowdown: float = 1.8       # E-core slowdown factor
+    entry_exit_ns: float = 1800.0          # KVM_RUN enter+exit (EL2 round trip)
+    mmio_roundtrip_ns: float = 3500.0      # MMIO exit to user space + resume
+    wfi_trap_ns: float = 1200.0            # in-kernel WFI trap + reschedule
+    debug_exit_ns: float = 2500.0          # breakpoint (guest debug) exit
+    signal_delivery_ns: float = 4000.0     # watchdog SIGUSR1 delivery + EINTR
+    irq_injection_ns: float = 600.0        # KVM_IRQ_LINE ioctl
+    watchdog_program_ns: float = 300.0     # arming the software watchdog
+    wfi_suspend_resume_ns: float = 900.0   # SystemC suspend + event resume
+    emulation_exit_ns: float = 3000.0      # illegal-opcode trap to user space
+    emulation_step_ns: float = 400.0       # software emulation of one instruction
+
+
+@dataclass(frozen=True)
+class IssCostParams:
+    """Host-time costs of the DBT-ISS execution path (AVP64 on the Ryzen)."""
+
+    dispatch_ns_per_inst: float = 0.75     # with typical memory mix: ~1,000 MIPS
+    translation_ns_per_block: float = 25000.0
+    mem_extra_ns: float = 0.75             # software MMU per access (TLB hit)
+    tlb_miss_ns: float = 250.0             # software page-table walk + refill
+    mmio_ns: float = 250.0                 # in-process TLM b_transport call
+    wfi_ns: float = 120.0                  # in-process idle-loop handling
+    irq_check_ns: float = 40.0             # per-quantum interrupt poll
+    exception_ns: float = 150.0            # guest exception bookkeeping
+
+
+@dataclass(frozen=True)
+class SimulationCostParams:
+    """Host costs of the SystemC side, identical for both VPs."""
+
+    kernel_overhead_ns_per_window: float = 1500.0   # scheduler, events, channel updates
+    peripheral_access_ns: float = 400.0             # register-model dispatch
+    parallel_dispatch_ns: float = 2500.0            # worker wake + join per core/window
+    parallel_mmio_shift_ns: float = 3000.0          # shifting an access to the main thread
+    sequential_loop_ns: float = 200.0               # direct call into simulate()
+
+
+DEFAULT_KVM_COSTS = KvmCostParams()
+DEFAULT_ISS_COSTS = IssCostParams()
+DEFAULT_SIM_COSTS = SimulationCostParams()

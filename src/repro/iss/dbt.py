@@ -1,0 +1,58 @@
+"""DBT-ISS host-cost model (the AVP64 baseline).
+
+AVP64 wraps a QEMU-derived dynamic-binary-translation ISS: basic blocks of
+target code are translated to host code on first execution and cached, so
+steady-state dispatch is fast but cold code pays a large per-block
+translation cost.  Loads and stores additionally pay software MMU
+translation (TLB hit) or a full software page walk (TLB miss).
+
+This module turns executor event counts (:class:`RunStats` deltas) into
+modeled host nanoseconds.  The translation-amortization term is what makes
+MiBench *small* variants so much slower on AVP64 than *large* ones
+(§V-C.2) and therefore drives the 8×–165× speedup spread in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..host.params import DEFAULT_ISS_COSTS, IssCostParams
+from .executor import RunStats
+
+
+class DbtCostModel:
+    """Accumulates modeled host time for a DBT-based ISS."""
+
+    def __init__(self, params: Optional[IssCostParams] = None):
+        self.params = params or DEFAULT_ISS_COSTS
+        self._last = RunStats()
+        self.total_ns = 0.0
+        self.translation_ns = 0.0
+        self.dispatch_ns = 0.0
+        self.mmu_ns = 0.0
+
+    def charge(self, stats: RunStats, mmio_exits: int = 0, wfi_exits: int = 0) -> float:
+        """Bill the delta between ``stats`` and the last sample; returns ns."""
+        params = self.params
+        delta_inst = stats.instructions - self._last.instructions
+        delta_blocks = stats.blocks_translated - self._last.blocks_translated
+        delta_mem = stats.memory_ops - self._last.memory_ops
+        delta_tlb = stats.tlb_misses - self._last.tlb_misses
+        delta_exc = stats.exceptions - self._last.exceptions
+        self._last = stats
+
+        dispatch = delta_inst * params.dispatch_ns_per_inst
+        translation = delta_blocks * params.translation_ns_per_block
+        mmu = delta_mem * params.mem_extra_ns + delta_tlb * params.tlb_miss_ns
+        events = (
+            mmio_exits * params.mmio_ns
+            + wfi_exits * params.wfi_ns
+            + delta_exc * params.exception_ns
+            + params.irq_check_ns
+        )
+        total = dispatch + translation + mmu + events
+        self.dispatch_ns += dispatch
+        self.translation_ns += translation
+        self.mmu_ns += mmu
+        self.total_ns += total
+        return total

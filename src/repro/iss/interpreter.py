@@ -1,0 +1,514 @@
+"""Functional A64-lite interpreter.
+
+Executes guest instructions one at a time against a :class:`CpuState`, a
+stage-1 :class:`Mmu` and a :class:`GuestMemoryMap`.  Control returns to the
+caller through :class:`ExitInfo` — the same exit protocol the simulated KVM
+uses — so the ISS-based and KVM-based CPU models can share all plumbing
+above this layer.
+
+MMIO follows the KVM two-phase protocol: an access to a non-RAM physical
+address stops execution *before* retiring the instruction and surfaces an
+:class:`MmioRequest`; the platform performs the access (a TLM transaction)
+and calls :meth:`Interpreter.complete_mmio`, which retires the instruction
+and lets the next ``run`` continue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..arch.exceptions import (
+    ExceptionClass,
+    GuestFault,
+    do_eret,
+    take_irq,
+    take_sync_exception,
+)
+from ..arch.isa import BLOCK_TERMINATORS, Cond, DecodeError, Instruction, Op, SysReg, decode
+from ..arch.mmu import Mmu
+from ..arch.registers import MASK64, CpuState
+from .executor import ExitInfo, ExitReason, GuestMemoryMap, MmioRequest, RunStats
+
+_SIZE = {Op.LDR: 8, Op.STR: 8, Op.LDRW: 4, Op.STRW: 4, Op.LDRB: 1, Op.STRB: 1}
+
+#: System registers EL0 is allowed to touch.
+_EL0_SYSREGS = {
+    int(SysReg.CNTFRQ_EL0), int(SysReg.CNTVCT_EL0), int(SysReg.TPIDR_EL0),
+    int(SysReg.CURRENT_EL), int(SysReg.DAIF),
+}
+
+
+class GlobalMonitor:
+    """The global exclusive monitor shared by all cores.
+
+    Real hardware invalidates a core's exclusive reservation when another
+    agent writes the monitored location; without this, LDXR/STXR spinlocks
+    would miss updates.  VP construction creates one monitor and hands it to
+    every executor.
+    """
+
+    def __init__(self):
+        self._marks: Dict[int, int] = {}      # core -> physical address
+
+    def mark(self, core: int, address: int) -> None:
+        self._marks[core] = address
+
+    def clear(self, core: int) -> None:
+        self._marks.pop(core, None)
+
+    def check(self, core: int, address: int) -> bool:
+        return self._marks.get(core) == address
+
+    def on_store(self, address: int, size: int, writer_core: int) -> None:
+        """Break other cores' reservations overlapping [address, address+size)."""
+        doomed = [core for core, marked in self._marks.items()
+                  if core != writer_core and address <= marked < address + size]
+        for core in doomed:
+            del self._marks[core]
+
+
+class _Exit(Exception):
+    """Internal control-flow signal carrying a pending ExitReason."""
+
+    def __init__(self, reason: ExitReason, mmio: Optional[MmioRequest] = None,
+                 halt_code: int = 0, message: str = ""):
+        self.reason = reason
+        self.mmio = mmio
+        self.halt_code = halt_code
+        self.message = message
+        super().__init__(message)
+
+
+class Interpreter:
+    """One core's instruction-accurate execution engine."""
+
+    def __init__(self, state: CpuState, memory: GuestMemoryMap,
+                 monitor: Optional[GlobalMonitor] = None, tlb_capacity: int = 512):
+        self.state = state
+        self.memory = memory
+        self.monitor = monitor or GlobalMonitor()
+        self.mmu = Mmu(state, memory.read, tlb_capacity)
+        self.breakpoints: Set[int] = set()
+        #: opcodes the (virtual) host CPU cannot execute natively; running
+        #: one raises an EMULATION exit so the VP can emulate it (§VI).
+        self.unsupported_ops: Set[Op] = set()
+        self.irq_line = False
+        self._pending_mmio: Optional[MmioRequest] = None
+        self._decode_cache: Dict[int, Tuple[int, Instruction]] = {}
+        self._skip_breakpoint_pc: Optional[int] = None
+        self._fault_streak = 0
+        # Event counters (monotonic; cost models sample deltas).
+        self.memory_ops = 0
+        self.blocks_entered = 0
+        self.new_blocks = 0
+        self.exceptions = 0
+        self._known_blocks: Set[int] = set()
+        self._block_start = True
+
+    @property
+    def pc(self) -> int:
+        return self.state.pc
+
+    # -- debug interface (KVM_SET_GUEST_DEBUG analogue) -------------------------
+    def set_breakpoint(self, address: int) -> None:
+        self.breakpoints.add(address)
+
+    def clear_breakpoint(self, address: int) -> None:
+        self.breakpoints.discard(address)
+
+    # -- interrupt line ----------------------------------------------------------
+    def set_irq(self, level: bool) -> None:
+        self.irq_line = bool(level)
+
+    # -- stats --------------------------------------------------------------------
+    def sample_stats(self) -> RunStats:
+        return RunStats(
+            instructions=self.state.instret,
+            memory_ops=self.memory_ops,
+            blocks_entered=self.blocks_entered,
+            blocks_translated=self.new_blocks,
+            tlb_misses=self.mmu.tlb.misses,
+            exceptions=self.exceptions,
+        )
+
+    # -- main run loop ---------------------------------------------------------------
+    def run(self, max_instructions: int) -> ExitInfo:
+        """Execute until budget exhaustion or an exit event (KVM_RUN analogue)."""
+        if self._pending_mmio is not None:
+            raise RuntimeError("MMIO in flight; call complete_mmio() before run()")
+        state = self.state
+        if state.halted:
+            return ExitInfo(ExitReason.HALT, 0, state.pc)
+        executed = 0
+        while executed < max_instructions:
+            # Interrupts are delivered between instructions — but not while
+            # stepping over a just-hit breakpoint: the stepped instruction
+            # (e.g. the annotated WFI) retires first, so the IRQ's return
+            # address lands *after* it, as on real hardware.
+            if (self.irq_line and not state.irqs_masked
+                    and state.pc != self._skip_breakpoint_pc):
+                take_irq(state, return_pc=state.pc)
+                self.exceptions += 1
+                self._block_start = True
+            pc = state.pc
+            if pc in self.breakpoints and pc != self._skip_breakpoint_pc:
+                self._skip_breakpoint_pc = pc
+                return ExitInfo(ExitReason.BREAKPOINT, executed, pc)
+            try:
+                inst = self._fetch(pc)
+                if inst.op in self.unsupported_ops:
+                    # The host CPU traps this instruction (illegal-opcode
+                    # exit); the hypervisor's user space must emulate it.
+                    return ExitInfo(ExitReason.EMULATION, executed, pc)
+                if self._block_start:
+                    self.blocks_entered += 1
+                    if pc not in self._known_blocks:
+                        self._known_blocks.add(pc)
+                        self.new_blocks += 1
+                    self._block_start = False
+                self._exec(inst, pc)
+            except GuestFault as fault:
+                try:
+                    self._deliver_fault(fault, pc)
+                except _ExitErrorLoop as loop:
+                    return ExitInfo(ExitReason.ERROR, executed, pc, message=str(loop))
+                continue
+            except _Exit as exit_signal:
+                if exit_signal.reason is ExitReason.MMIO:
+                    self._pending_mmio = exit_signal.mmio
+                    return ExitInfo(ExitReason.MMIO, executed, pc, mmio=exit_signal.mmio)
+                if exit_signal.reason is ExitReason.HALT:
+                    state.halted = True
+                    executed += 1
+                    state.instret += 1
+                    return ExitInfo(ExitReason.HALT, executed, state.pc,
+                                    halt_code=exit_signal.halt_code)
+                if exit_signal.reason is ExitReason.WFI:
+                    executed += 1
+                    state.instret += 1
+                    return ExitInfo(ExitReason.WFI, executed, state.pc)
+                return ExitInfo(exit_signal.reason, executed, state.pc,
+                                message=exit_signal.message)
+            if pc == self._skip_breakpoint_pc:
+                self._skip_breakpoint_pc = None
+            self._fault_streak = 0
+            executed += 1
+            state.instret += 1
+            if inst.op in BLOCK_TERMINATORS:
+                self._block_start = True
+        return ExitInfo(ExitReason.BUDGET, executed, state.pc)
+
+    def emulate_one(self) -> ExitInfo:
+        """Execute exactly one instruction, ignoring ``unsupported_ops``.
+
+        This is the VP-side software emulation path for instructions the
+        host cannot run natively: the hypervisor's user space performs the
+        architectural effect and resumes the guest after it (§VI).
+        """
+        if self._pending_mmio is not None:
+            raise RuntimeError("MMIO in flight; complete it before emulating")
+        state = self.state
+        pc = state.pc
+        try:
+            inst = self._fetch(pc)
+            self._exec(inst, pc)
+        except GuestFault as fault:
+            self._deliver_fault(fault, pc)
+            return ExitInfo(ExitReason.BUDGET, 0, state.pc)
+        except _Exit as exit_signal:
+            if exit_signal.reason is ExitReason.MMIO:
+                self._pending_mmio = exit_signal.mmio
+                return ExitInfo(ExitReason.MMIO, 0, pc, mmio=exit_signal.mmio)
+            if exit_signal.reason is ExitReason.HALT:
+                state.halted = True
+            state.instret += 1
+            return ExitInfo(exit_signal.reason, 1, state.pc,
+                            halt_code=exit_signal.halt_code)
+        state.instret += 1
+        return ExitInfo(ExitReason.BUDGET, 1, state.pc)
+
+    def complete_mmio(self, read_data: Optional[bytes] = None) -> None:
+        """Finish the in-flight MMIO access and retire its instruction."""
+        request = self._pending_mmio
+        if request is None:
+            raise RuntimeError("no MMIO in flight")
+        state = self.state
+        if not request.is_write:
+            if read_data is None or len(read_data) != request.size:
+                raise ValueError(
+                    f"MMIO read completion wants {request.size} bytes, "
+                    f"got {None if read_data is None else len(read_data)}"
+                )
+            state.write_reg(request.register, int.from_bytes(read_data, "little"))
+        state.pc = (state.pc + 4) & MASK64
+        state.instret += 1
+        self._pending_mmio = None
+        if state.pc != self._skip_breakpoint_pc:
+            self._skip_breakpoint_pc = None
+
+    @property
+    def mmio_pending(self) -> bool:
+        return self._pending_mmio is not None
+
+    # -- fault delivery -----------------------------------------------------------------
+    def _deliver_fault(self, fault: GuestFault, pc: int) -> None:
+        self.exceptions += 1
+        self._fault_streak += 1
+        self._block_start = True
+        if self._fault_streak > 4:
+            raise _ExitErrorLoop(pc, fault)
+        return_pc = pc + 4 if fault.ec in (ExceptionClass.SVC, ExceptionClass.BRK) else pc
+        take_sync_exception(self.state, fault.ec, fault.iss, fault.fault_address,
+                            return_pc=return_pc)
+
+    # -- fetch ------------------------------------------------------------------------
+    def _fetch(self, pc: int) -> Instruction:
+        pa = self.mmu.translate(pc, fetch=True)
+        if not self.memory.is_ram(pa, 4):
+            raise GuestFault(ExceptionClass.INSTRUCTION_ABORT, iss=0x10, fault_address=pc,
+                             message=f"instruction fetch from MMIO at 0x{pc:x}")
+        word = int.from_bytes(self.memory.read(pa, 4), "little")
+        cached = self._decode_cache.get(pa)
+        if cached is not None and cached[0] == word:
+            return cached[1]
+        try:
+            inst = decode(word)
+        except DecodeError:
+            raise GuestFault(ExceptionClass.UNKNOWN, fault_address=pc,
+                             message=f"undecodable word {word:#010x} at 0x{pc:x}") from None
+        self._decode_cache[pa] = (word, inst)
+        return inst
+
+    # -- data memory ----------------------------------------------------------------------
+    def _load(self, va: int, size: int, register: int) -> int:
+        self.memory_ops += 1
+        pa = self.mmu.translate(va, write=False)
+        if self.memory.is_ram(pa, size):
+            return int.from_bytes(self.memory.read(pa, size), "little")
+        raise _Exit(ExitReason.MMIO,
+                    mmio=MmioRequest(pa, size, False, None, register))
+
+    def _store(self, va: int, size: int, value: int) -> None:
+        self.memory_ops += 1
+        pa = self.mmu.translate(va, write=True)
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if self.memory.is_ram(pa, size):
+            self.memory.write(pa, data)
+            self.monitor.on_store(pa, size, self.state.core_id)
+            return
+        raise _Exit(ExitReason.MMIO,
+                    mmio=MmioRequest(pa, size, True, data, 0))
+
+    # -- flags ---------------------------------------------------------------------------------
+    def _set_flags_sub(self, a: int, b: int) -> None:
+        result = (a - b) & MASK64
+        signed_a = a - (1 << 64) if a >> 63 else a
+        signed_b = b - (1 << 64) if b >> 63 else b
+        signed_r = signed_a - signed_b
+        self.state.set_nzcv(
+            n=bool(result >> 63),
+            z=result == 0,
+            c=a >= b,
+            v=not (-(1 << 63) <= signed_r < (1 << 63)),
+        )
+
+    def _cond_holds(self, cond: Cond) -> bool:
+        s = self.state
+        if cond is Cond.EQ:
+            return s.flag_z
+        if cond is Cond.NE:
+            return not s.flag_z
+        if cond is Cond.HS:
+            return s.flag_c
+        if cond is Cond.LO:
+            return not s.flag_c
+        if cond is Cond.MI:
+            return s.flag_n
+        if cond is Cond.PL:
+            return not s.flag_n
+        if cond is Cond.VS:
+            return s.flag_v
+        if cond is Cond.VC:
+            return not s.flag_v
+        if cond is Cond.HI:
+            return s.flag_c and not s.flag_z
+        if cond is Cond.LS:
+            return not s.flag_c or s.flag_z
+        if cond is Cond.GE:
+            return s.flag_n == s.flag_v
+        if cond is Cond.LT:
+            return s.flag_n != s.flag_v
+        if cond is Cond.GT:
+            return not s.flag_z and s.flag_n == s.flag_v
+        if cond is Cond.LE:
+            return s.flag_z or s.flag_n != s.flag_v
+        return True  # AL
+
+    # -- execute -----------------------------------------------------------------------------------
+    def _exec(self, inst: Instruction, pc: int) -> None:
+        state = self.state
+        regs = state.regs
+        op = inst.op
+        next_pc = (pc + 4) & MASK64
+
+        if op is Op.NOP or op is Op.DMB or op is Op.YIELD:
+            pass
+        elif op is Op.MOVZ:
+            regs[inst.rd] = (inst.imm << (16 * inst.rm)) & MASK64
+        elif op is Op.MOVK:
+            shift = 16 * inst.rm
+            regs[inst.rd] = (regs[inst.rd] & ~(0xFFFF << shift) | (inst.imm << shift)) & MASK64
+        elif op is Op.ADDI:
+            regs[inst.rd] = (regs[inst.rn] + inst.imm) & MASK64
+        elif op is Op.SUBI:
+            regs[inst.rd] = (regs[inst.rn] - inst.imm) & MASK64
+        elif op is Op.ADD:
+            regs[inst.rd] = (regs[inst.rn] + regs[inst.rm]) & MASK64
+        elif op is Op.SUB:
+            regs[inst.rd] = (regs[inst.rn] - regs[inst.rm]) & MASK64
+        elif op is Op.MUL:
+            regs[inst.rd] = (regs[inst.rn] * regs[inst.rm]) & MASK64
+        elif op is Op.UDIV:
+            divisor = regs[inst.rm]
+            regs[inst.rd] = 0 if divisor == 0 else regs[inst.rn] // divisor
+        elif op is Op.UREM:
+            divisor = regs[inst.rm]
+            regs[inst.rd] = regs[inst.rn] if divisor == 0 else regs[inst.rn] % divisor
+        elif op is Op.AND:
+            regs[inst.rd] = regs[inst.rn] & regs[inst.rm]
+        elif op is Op.ORR:
+            regs[inst.rd] = regs[inst.rn] | regs[inst.rm]
+        elif op is Op.EOR:
+            regs[inst.rd] = regs[inst.rn] ^ regs[inst.rm]
+        elif op is Op.ANDI:
+            regs[inst.rd] = regs[inst.rn] & inst.imm
+        elif op is Op.ORRI:
+            regs[inst.rd] = regs[inst.rn] | inst.imm
+        elif op is Op.EORI:
+            regs[inst.rd] = regs[inst.rn] ^ inst.imm
+        elif op is Op.LSLI:
+            regs[inst.rd] = (regs[inst.rn] << inst.imm) & MASK64
+        elif op is Op.LSRI:
+            regs[inst.rd] = regs[inst.rn] >> inst.imm
+        elif op is Op.ASRI:
+            value = regs[inst.rn]
+            if value >> 63:
+                value -= 1 << 64
+            regs[inst.rd] = (value >> inst.imm) & MASK64
+        elif op is Op.CMP:
+            self._set_flags_sub(regs[inst.rn], regs[inst.rm])
+        elif op is Op.CMPI:
+            self._set_flags_sub(regs[inst.rn], inst.imm)
+        elif op is Op.MOV:
+            regs[inst.rd] = regs[inst.rn]
+        elif op in _SIZE:
+            size = _SIZE[op]
+            va = (regs[inst.rn] + inst.imm) & MASK64
+            if op in (Op.LDR, Op.LDRW, Op.LDRB):
+                regs[inst.rd] = self._load(va, size, inst.rd)
+            else:
+                self._store(va, size, regs[inst.rd])
+        elif op is Op.LDXR:
+            va = regs[inst.rn] & MASK64
+            self.memory_ops += 1
+            pa = self.mmu.translate(va, write=False)
+            if not self.memory.is_ram(pa, 8):
+                raise GuestFault(ExceptionClass.DATA_ABORT, iss=0x35, fault_address=va,
+                                 message=f"exclusive load from MMIO at 0x{va:x}")
+            regs[inst.rd] = int.from_bytes(self.memory.read(pa, 8), "little")
+            self.monitor.mark(state.core_id, pa)
+            state.set_exclusive(pa)
+        elif op is Op.STXR:
+            va = regs[inst.rn] & MASK64
+            self.memory_ops += 1
+            pa = self.mmu.translate(va, write=True)
+            if not self.memory.is_ram(pa, 8):
+                raise GuestFault(ExceptionClass.DATA_ABORT, iss=0x35, fault_address=va,
+                                 message=f"exclusive store to MMIO at 0x{va:x}")
+            if state.check_exclusive(pa) and self.monitor.check(state.core_id, pa):
+                self.memory.write(pa, regs[inst.rm].to_bytes(8, "little"))
+                self.monitor.on_store(pa, 8, state.core_id)
+                regs[inst.rd] = 0
+            else:
+                regs[inst.rd] = 1
+            state.clear_exclusive()
+            self.monitor.clear(state.core_id)
+        elif op is Op.B:
+            next_pc = (pc + 4 * inst.imm) & MASK64
+        elif op is Op.BL:
+            regs[30] = next_pc
+            next_pc = (pc + 4 * inst.imm) & MASK64
+        elif op is Op.BCOND:
+            if self._cond_holds(inst.cond):
+                next_pc = (pc + 4 * inst.imm) & MASK64
+        elif op is Op.CBZ:
+            if regs[inst.rd] == 0:
+                next_pc = (pc + 4 * inst.imm) & MASK64
+        elif op is Op.CBNZ:
+            if regs[inst.rd] != 0:
+                next_pc = (pc + 4 * inst.imm) & MASK64
+        elif op is Op.BR:
+            next_pc = regs[inst.rn]
+        elif op is Op.RET:
+            next_pc = regs[inst.rn]
+        elif op is Op.ADR:
+            regs[inst.rd] = (pc + inst.imm) & MASK64
+        elif op is Op.SVC:
+            raise GuestFault(ExceptionClass.SVC, iss=inst.imm,
+                             message=f"svc #{inst.imm}")
+        elif op is Op.BRK:
+            raise GuestFault(ExceptionClass.BRK, iss=inst.imm,
+                             message=f"brk #{inst.imm}")
+        elif op is Op.UDF:
+            raise GuestFault(ExceptionClass.UNKNOWN, fault_address=pc,
+                             message=f"undefined instruction at 0x{pc:x}")
+        elif op is Op.ERET:
+            do_eret(state)
+            return
+        elif op is Op.MRS:
+            self._check_sysreg_access(inst.imm, pc)
+            if inst.imm == SysReg.CNTVCT_EL0:
+                regs[inst.rd] = state.instret & MASK64
+            else:
+                regs[inst.rd] = state.read_sysreg(inst.imm)
+        elif op is Op.MSR:
+            self._check_sysreg_access(inst.imm, pc)
+            state.write_sysreg(inst.imm, regs[inst.rn])
+            if inst.imm in (SysReg.SCTLR_EL1, SysReg.TTBR0_EL1):
+                self.mmu.flush_tlb()
+                self._decode_cache.clear()
+        elif op is Op.MSRI:
+            if inst.rm:  # DAIFSet
+                state.daif |= inst.imm
+            else:        # DAIFClr
+                state.daif &= ~inst.imm
+        elif op is Op.WFI:
+            if state.el == 0:
+                # Linux traps EL0 WFI; treat as NOP for user space here.
+                pass
+            elif self.irq_line:
+                pass  # pending interrupt: WFI falls through immediately
+            else:
+                state.pc = next_pc
+                raise _Exit(ExitReason.WFI)
+        elif op is Op.HLT:
+            state.pc = next_pc
+            raise _Exit(ExitReason.HALT, halt_code=inst.imm)
+        else:  # pragma: no cover - decode() can't produce other ops
+            raise GuestFault(ExceptionClass.UNKNOWN, fault_address=pc,
+                             message=f"unimplemented opcode {op!r}")
+        state.pc = next_pc
+
+    def _check_sysreg_access(self, reg: int, pc: int) -> None:
+        if self.state.el == 0 and reg not in _EL0_SYSREGS:
+            raise GuestFault(ExceptionClass.UNKNOWN, fault_address=pc,
+                             message=f"EL0 access to system register {reg:#x}")
+
+
+class _ExitErrorLoop(Exception):
+    """Raised when fault delivery itself keeps faulting (guest is wedged)."""
+
+    def __init__(self, pc: int, fault: GuestFault):
+        self.pc = pc
+        self.fault = fault
+        super().__init__(f"fault loop at pc=0x{pc:x}: {fault}")

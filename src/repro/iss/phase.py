@@ -1,0 +1,463 @@
+"""Phase programs: abstract workload execution at paper scale.
+
+Interpreting billions of guest instructions in Python is impossible, but the
+paper's mechanisms (quantum budgets, watchdog kicks, MMIO exits, WFI
+annotations, cross-core handshakes) only react to *events*, not to
+individual ALU results.  A *phase program* describes a workload as the
+sequence of events one core produces:
+
+* :class:`Compute`   — N instructions with a static-block/memory profile,
+* :class:`Mmio`      — one device access (a real exit + TLM transaction),
+* :class:`Wfi`       — enter the idle loop at the annotated ``WFI`` address,
+* :class:`SpinUntil` — busy-wait on a guest-RAM flag (spinlocks, barriers),
+* :class:`StoreFlag` / :class:`AtomicAdd` — shared-memory writes,
+* :class:`Halt`      — terminate the core.
+
+Programs are Python generators, so control flow (loops, handshakes,
+data-dependent branches on MMIO read values) is ordinary code.  A yielded
+``Mmio`` read evaluates to the bytes the device returned::
+
+    def program(ctx):
+        yield Compute(1_000_000, key="init")
+        status = yield Mmio(UART_FR, 4, is_write=False)
+        ...
+
+:class:`PhaseExecutor` runs these programs behind the exact same executor
+interface as the functional interpreter, so both CPU models and the whole
+platform stack are exercised unmodified.  Interrupt delivery follows the
+GIC protocol: when the IRQ line rises (and the core is not already in a
+handler) the executor interleaves an IAR read, handler work, device acks
+and an EOIR write — all real MMIO exits handled by the VP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Union
+
+from .executor import ExitInfo, ExitReason, GuestMemoryMap, MmioRequest, RunStats
+
+
+# --------------------------------------------------------------------------
+# Phase vocabulary
+# --------------------------------------------------------------------------
+
+@dataclass
+class Compute:
+    """Execute ``instructions`` guest instructions of straight-line work.
+
+    ``key`` identifies the static code executed: the first time a key is
+    seen, its ``static_blocks`` are counted as newly translated (DBT cost);
+    re-executions hit the translation cache.  ``mem_fraction`` of the
+    instructions are loads/stores and ``tlb_miss_rate`` of *those* miss the
+    software TLB (ISS cost model inputs).
+    """
+
+    instructions: int
+    key: str = ""
+    static_blocks: int = 64
+    avg_block_len: int = 12
+    mem_fraction: float = 0.25
+    tlb_miss_rate: float = 0.0
+
+
+@dataclass
+class Mmio:
+    """One device access at guest-physical ``address``."""
+
+    address: int
+    size: int = 4
+    is_write: bool = True
+    value: int = 0
+
+
+@dataclass
+class Wfi:
+    """Execute the idle loop's WFI instruction."""
+
+
+@dataclass
+class SpinUntil:
+    """Busy-wait until the 8-byte RAM word at ``address`` reaches ``value``.
+
+    ``ge=False`` waits for equality; ``ge=True`` waits for >=, which is what
+    generation-counter barriers need (later arrivals may overshoot the
+    value a spinner is waiting for).
+    """
+
+    address: int
+    value: int
+    check_instructions: int = 64
+    mem_fraction: float = 0.5
+    ge: bool = False
+
+
+@dataclass
+class StoreFlag:
+    """Store an 8-byte value to guest RAM (release-store to a flag)."""
+
+    address: int
+    value: int
+    instructions: int = 2
+
+
+@dataclass
+class AtomicAdd:
+    """LDXR/STXR read-modify-write on an 8-byte RAM counter."""
+
+    address: int
+    delta: int
+    instructions: int = 8
+
+
+@dataclass
+class Halt:
+    code: int = 0
+
+
+Phase = Union[Compute, Mmio, Wfi, SpinUntil, StoreFlag, AtomicAdd, Halt]
+PhaseProgram = Callable[["PhaseContext"], Generator]
+
+
+@dataclass
+class IrqProtocol:
+    """How a core services an interrupt (GICv2 handshake).
+
+    ``iar_address``/``eoir_address`` are the core's GIC CPU-interface
+    registers.  ``device_acks`` maps an interrupt id to the extra MMIO
+    writes the driver performs to silence the device (e.g. a timer's
+    interrupt-clear register).
+    """
+
+    iar_address: int
+    eoir_address: int
+    handler_instructions: int = 1500
+    device_acks: Dict[int, Sequence[Mmio]] = field(default_factory=dict)
+
+
+@dataclass
+class PhaseContext:
+    """Everything a phase program can see."""
+
+    core_id: int
+    memory: GuestMemoryMap
+    wfi_pc: int = 0x1000
+    code_base: int = 0x4000
+    irq_protocol: Optional[IrqProtocol] = None
+    shared: dict = field(default_factory=dict)
+
+    # -- RAM helpers for generator-side control flow ------------------------
+    def read_u64(self, address: int) -> int:
+        return int.from_bytes(self.memory.read(address, 8), "little")
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.memory.write(address, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def flag_set(self, address: int, expected: int = 1, ge: bool = False) -> bool:
+        value = self.read_u64(address)
+        return value >= expected if ge else value == expected
+
+
+def wfi_wait(ctx: PhaseContext, address: int, expected: int = 1, ge: bool = False):
+    """Idle-loop wait: WFI until a RAM flag reaches ``expected``.
+
+    This is how both the booting core and the secondaries wait in the
+    synthetic Linux: each unexpected wakeup (timer tick, stray SGI)
+    re-checks the flag and re-enters WFI, exactly like a kernel thread
+    sleeping on a completion.
+    """
+    while not ctx.flag_set(address, expected, ge):
+        yield Wfi()
+
+
+# --------------------------------------------------------------------------
+# Executor
+# --------------------------------------------------------------------------
+
+class _HandlerState:
+    """Progress of an in-flight interrupt service sequence."""
+
+    def __init__(self, protocol: IrqProtocol):
+        self.protocol = protocol
+        self.stage = "iar"          # iar -> work -> acks -> eoir -> done
+        self.ack_id = 0
+        self.work_left = protocol.handler_instructions
+        self.acks: List[Mmio] = []
+
+
+class PhaseExecutor:
+    """Runs a phase program behind the GuestExecutor interface."""
+
+    def __init__(self, program: PhaseProgram, ctx: PhaseContext):
+        self.ctx = ctx
+        self._generator = program(ctx)
+        self._current: Optional[Phase] = None
+        self._compute_left = 0
+        self._send_value = None
+        self._finished = False
+        self._halt_code = 0
+        self.irq_line = False
+        self.breakpoints: Set[int] = set()
+        self._skip_breakpoint_once = False
+        self._handler: Optional[_HandlerState] = None
+        self._wfi_completed = False
+        self._pending_mmio: Optional[MmioRequest] = None
+        self._pending_mmio_sink: Optional[str] = None   # "program" | "iar" | "ack" | "eoir"
+        self.pc = ctx.code_base
+        # Stats
+        self.instructions = 0
+        self.memory_ops = 0
+        self.blocks_entered = 0
+        self.new_blocks = 0
+        self.tlb_misses = 0
+        self.exceptions = 0
+        self.irqs_taken = 0
+        self._translated_keys: Set[str] = set()
+        self._anonymous_keys = 0
+
+    # -- GuestExecutor interface ----------------------------------------------
+    def set_irq(self, level: bool) -> None:
+        self.irq_line = bool(level)
+
+    def set_breakpoint(self, address: int) -> None:
+        self.breakpoints.add(address)
+
+    def clear_breakpoint(self, address: int) -> None:
+        self.breakpoints.discard(address)
+
+    def sample_stats(self) -> RunStats:
+        return RunStats(
+            instructions=self.instructions,
+            memory_ops=self.memory_ops,
+            blocks_entered=self.blocks_entered,
+            blocks_translated=self.new_blocks,
+            tlb_misses=self.tlb_misses,
+            exceptions=self.exceptions,
+        )
+
+    @property
+    def mmio_pending(self) -> bool:
+        return self._pending_mmio is not None
+
+    def run(self, max_instructions: int) -> ExitInfo:
+        if self._pending_mmio is not None:
+            raise RuntimeError("MMIO in flight; call complete_mmio() first")
+        if self._finished:
+            return ExitInfo(ExitReason.HALT, 0, self.pc, halt_code=self._halt_code)
+        executed = 0
+        while executed < max_instructions:
+            # Interrupt delivery takes priority over the program — except
+            # over a not-yet-executed WFI, which architecturally falls
+            # through *first* and only then takes the interrupt.
+            if (self.irq_line and self._handler is None
+                    and self.ctx.irq_protocol is not None
+                    and not (isinstance(self._current, Wfi) and not self._wfi_completed)):
+                self._handler = _HandlerState(self.ctx.irq_protocol)
+                self.irqs_taken += 1
+                self.exceptions += 1
+            if self._handler is not None:
+                result = self._handler_step(executed, max_instructions)
+                if isinstance(result, ExitInfo):
+                    return result
+                executed = result
+                continue
+            phase = self._current_phase()
+            if phase is None:
+                self._finished = True
+                return ExitInfo(ExitReason.HALT, executed, self.pc,
+                                halt_code=self._halt_code)
+            result = self._phase_step(phase, executed, max_instructions)
+            if isinstance(result, ExitInfo):
+                return result
+            executed = result
+        return ExitInfo(ExitReason.BUDGET, executed, self.pc)
+
+    def complete_mmio(self, read_data: Optional[bytes] = None) -> None:
+        request = self._pending_mmio
+        if request is None:
+            raise RuntimeError("no MMIO in flight")
+        sink = self._pending_mmio_sink
+        self._pending_mmio = None
+        self._pending_mmio_sink = None
+        self.instructions += 1
+        value = int.from_bytes(read_data, "little") if read_data is not None else None
+        if sink == "program":
+            self._send_value = value
+            self._advance_program()
+        elif sink == "iar":
+            handler = self._handler
+            if handler is None:
+                raise RuntimeError("IAR completion without active handler")
+            handler.ack_id = value if value is not None else 1023
+            handler.stage = "work"
+            handler.acks = list(handler.protocol.device_acks.get(handler.ack_id, ()))
+        elif sink == "ack":
+            handler = self._handler
+            if handler is not None and not handler.acks:
+                handler.stage = "eoir"
+        elif sink == "eoir":
+            self._handler = None
+        else:  # pragma: no cover
+            raise AssertionError(f"unknown MMIO sink {sink!r}")
+
+    # -- internals ---------------------------------------------------------------
+    def _current_phase(self) -> Optional[Phase]:
+        if self._current is None:
+            self._advance_program()
+        return self._current
+
+    def _advance_program(self) -> None:
+        try:
+            value, self._send_value = self._send_value, None
+            self._current = self._generator.send(value)
+        except StopIteration:
+            self._current = None
+            return
+        if isinstance(self._current, Compute):
+            self._compute_left = self._current.instructions
+            self._charge_translation(self._current)
+
+    def _charge_translation(self, phase: Compute) -> None:
+        key = phase.key
+        if not key:
+            self._anonymous_keys += 1
+            key = f"__anon{self._anonymous_keys}"
+        if key not in self._translated_keys:
+            self._translated_keys.add(key)
+            self.new_blocks += phase.static_blocks
+
+    def _finish_phase(self) -> None:
+        self._current = None
+
+    def _phase_step(self, phase: Phase, executed: int, budget: int):
+        """Process (part of) one phase; returns new ``executed`` or ExitInfo."""
+        left = budget - executed
+        if isinstance(phase, Compute):
+            take = min(self._compute_left, left)
+            self._account_compute(take, phase.mem_fraction, phase.tlb_miss_rate,
+                                  phase.avg_block_len)
+            executed += take
+            self._compute_left -= take
+            if self._compute_left <= 0:
+                self._finish_phase()
+                self._advance_program()
+            return executed
+        if isinstance(phase, Mmio):
+            request = MmioRequest(phase.address, phase.size, phase.is_write,
+                                  phase.value.to_bytes(phase.size, "little")
+                                  if phase.is_write else None, 0)
+            self._pending_mmio = request
+            self._pending_mmio_sink = "program"
+            self._finish_phase()
+            self.memory_ops += 1
+            return ExitInfo(ExitReason.MMIO, executed, self.pc, mmio=request)
+        if isinstance(phase, Wfi):
+            if self._wfi_completed:
+                # Waking up after a WFI: only now advance the program, so
+                # flag checks in wfi_wait() observe memory written by the
+                # peer that raised the wake-up interrupt.
+                self._wfi_completed = False
+                self._finish_phase()
+                self._advance_program()
+                return executed
+            self.pc = self.ctx.wfi_pc
+            if self.pc in self.breakpoints and not self._skip_breakpoint_once:
+                self._skip_breakpoint_once = True
+                return ExitInfo(ExitReason.BREAKPOINT, executed, self.pc)
+            self._skip_breakpoint_once = False
+            self.instructions += 1
+            executed += 1
+            self._wfi_completed = True
+            if self.irq_line:
+                # Pending interrupt: WFI falls through immediately; the
+                # handler runs next, and only after it does the idle loop
+                # re-check its wake condition (program advance).
+                return executed
+            return ExitInfo(ExitReason.WFI, executed, self.pc)
+        if isinstance(phase, SpinUntil):
+            if self.ctx.flag_set(phase.address, phase.value, phase.ge):
+                self._finish_phase()
+                self._advance_program()
+                return executed
+            if self.irq_line and self.ctx.irq_protocol is not None:
+                # Spin at least one poll iteration, then let the handler in.
+                take = min(phase.check_instructions, budget - executed)
+                self._account_compute(take, phase.mem_fraction, 0.0, 4)
+                return executed + take
+            # Guest RAM cannot change during one run() call (no other actor
+            # executes), so an unset flag stays unset: burn the whole budget
+            # in one accounting step instead of poll-sized chunks.
+            take = budget - executed
+            self._account_compute(take, phase.mem_fraction, 0.0, 4)
+            return executed + take
+        if isinstance(phase, StoreFlag):
+            self.ctx.write_u64(phase.address, phase.value)
+            self._account_compute(phase.instructions, 0.5, 0.0, 4)
+            self._finish_phase()
+            self._advance_program()
+            return executed + phase.instructions
+        if isinstance(phase, AtomicAdd):
+            current = self.ctx.read_u64(phase.address)
+            self.ctx.write_u64(phase.address, current + phase.delta)
+            self._account_compute(phase.instructions, 0.6, 0.0, 4)
+            self._finish_phase()
+            self._advance_program()
+            return executed + phase.instructions
+        if isinstance(phase, Halt):
+            self._finished = True
+            self._halt_code = phase.code
+            self.instructions += 1
+            return ExitInfo(ExitReason.HALT, executed + 1, self.pc,
+                            halt_code=phase.code)
+        raise TypeError(f"phase program yielded a non-phase: {phase!r}")
+
+    def _handler_step(self, executed: int, budget: int):
+        handler = self._handler
+        protocol = handler.protocol
+        if handler.stage == "iar":
+            request = MmioRequest(protocol.iar_address, 4, False, None, 0)
+            self._pending_mmio = request
+            self._pending_mmio_sink = "iar"
+            self.memory_ops += 1
+            return ExitInfo(ExitReason.MMIO, executed, self.pc, mmio=request)
+        if handler.stage == "work":
+            take = min(handler.work_left, budget - executed)
+            self._account_compute(take, 0.3, 0.0, 10, key="__irq_handler")
+            handler.work_left -= take
+            executed += take
+            if handler.work_left <= 0:
+                handler.stage = "acks" if handler.acks else "eoir"
+            return executed
+        if handler.stage == "acks":
+            ack = handler.acks.pop(0)
+            request = MmioRequest(ack.address, ack.size, ack.is_write,
+                                  ack.value.to_bytes(ack.size, "little")
+                                  if ack.is_write else None, 0)
+            self._pending_mmio = request
+            self._pending_mmio_sink = "ack"
+            if not handler.acks:
+                pass  # stage advances when the ack completes
+            self.memory_ops += 1
+            return ExitInfo(ExitReason.MMIO, executed, self.pc, mmio=request)
+        if handler.stage == "eoir":
+            request = MmioRequest(protocol.eoir_address, 4, True,
+                                  handler.ack_id.to_bytes(4, "little"), 0)
+            self._pending_mmio = request
+            self._pending_mmio_sink = "eoir"
+            self.memory_ops += 1
+            return ExitInfo(ExitReason.MMIO, executed, self.pc, mmio=request)
+        raise AssertionError(f"bad handler stage {handler.stage!r}")  # pragma: no cover
+
+    def _account_compute(self, instructions: int, mem_fraction: float,
+                         tlb_miss_rate: float, avg_block_len: int,
+                         key: Optional[str] = None) -> None:
+        if instructions <= 0:
+            return
+        if key is not None and key not in self._translated_keys:
+            self._translated_keys.add(key)
+            self.new_blocks += 16
+        self.instructions += instructions
+        mem_ops = int(instructions * mem_fraction)
+        self.memory_ops += mem_ops
+        self.blocks_entered += max(1, instructions // max(1, avg_block_len))
+        self.tlb_misses += int(mem_ops * tlb_miss_rate)

@@ -1,0 +1,6 @@
+"""Simulated Linux-KVM hypervisor: VM/vcpu objects, memory slots, the
+KVM_RUN exit protocol, guest-debug breakpoints and interrupt injection."""
+
+from .api import Kvm, KvmExit, KvmExitReason, Vcpu, Vm
+
+__all__ = ["Kvm", "KvmExit", "KvmExitReason", "Vcpu", "Vm"]

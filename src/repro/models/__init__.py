@@ -1,0 +1,23 @@
+"""Peripheral models of the VP (Fig. 4): GIC-400, memory-mapped timer,
+PL011 UART, PL031 RTC, SDHCI host controller and the virtual SD card."""
+
+from .gic import Gic400, SPURIOUS_IRQ
+from .rtc import Pl031Rtc
+from .sdcard import BLOCK_SIZE, SdCard, SdCardError
+from .sdhci import Sdhci
+from .simctl import SimControl
+from .timer import MmTimer
+from .uart import Pl011Uart
+
+__all__ = [
+    "BLOCK_SIZE",
+    "Gic400",
+    "MmTimer",
+    "Pl011Uart",
+    "Pl031Rtc",
+    "SPURIOUS_IRQ",
+    "SdCard",
+    "SdCardError",
+    "Sdhci",
+    "SimControl",
+]

@@ -1,0 +1,298 @@
+"""GIC-400 interrupt controller model (GICv2 subset).
+
+Implements the pieces the VP and the synthetic Linux use:
+
+* **Distributor** (``GICD``): global enable, per-interrupt enable bits,
+  software-generated interrupts (``GICD_SGIR`` — the IPI mechanism used for
+  secondary-core bring-up), SPI target routing.
+* **CPU interfaces** (``GICC``, one register window per core): priority
+  mask, interrupt acknowledge (``GICC_IAR``) and end-of-interrupt
+  (``GICC_EOIR``).
+
+Interrupt taxonomy follows the architecture: ids 0–15 are SGIs (banked per
+core), 16–31 PPIs (banked per core, used by the per-core timer), 32+ SPIs
+(global, routed by target mask).  Each core has an ``nIRQ`` output line
+(:class:`IrqLine`) that the CPU models connect to; the line is high while
+any enabled, pending, un-acknowledged interrupt is routed to that core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..systemc.module import Module
+from ..systemc.signal import IrqLine
+from ..systemc.time import SimTime
+from ..tlm.payload import GenericPayload, ResponseStatus
+from ..tlm.sockets import TargetSocket
+from ..vcml.component import Component
+
+SPURIOUS_IRQ = 1023
+
+# Distributor register offsets.
+GICD_CTLR = 0x000
+GICD_TYPER = 0x004
+GICD_ISENABLER = 0x100    # 0x100..0x17C
+GICD_ICENABLER = 0x180
+GICD_ISPENDR = 0x200
+GICD_ICPENDR = 0x280
+GICD_ITARGETSR = 0x800    # byte per interrupt
+GICD_SGIR = 0xF00
+
+# CPU-interface register offsets.
+GICC_CTLR = 0x00
+GICC_PMR = 0x04
+GICC_IAR = 0x0C
+GICC_EOIR = 0x10
+
+GICD_SIZE = 0x1000
+GICC_SIZE = 0x100
+
+
+class Gic400(Component):
+    """A GICv2-style interrupt controller for up to 8 cores."""
+
+    MAX_IRQS = 256
+
+    def __init__(self, name: str, num_cpus: int, parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        if not 1 <= num_cpus <= 8:
+            raise ValueError(f"GIC-400 supports 1..8 cpus, got {num_cpus}")
+        self.num_cpus = num_cpus
+        self.dist_enabled = False
+        self.cpu_enabled = [False] * num_cpus
+        self.priority_mask = [0xFF] * num_cpus
+        self.enabled: Set[int] = set()
+        # Banked pending state for SGIs/PPIs; global for SPIs.
+        self.pending_banked: List[Set[int]] = [set() for _ in range(num_cpus)]
+        self.pending_spi: Set[int] = set()
+        self.active: List[Set[int]] = [set() for _ in range(num_cpus)]
+        self.spi_levels: Dict[int, bool] = {}
+        self.spi_targets: Dict[int, int] = {}     # irq -> cpu bit mask
+        self.irq_out: List[IrqLine] = [
+            IrqLine(f"{self.name}.irq_out{cpu}", self.kernel) for cpu in range(num_cpus)
+        ]
+        self.dist_socket = TargetSocket(f"{self.name}.dist", self._dist_transport)
+        self.cpu_sockets = [
+            TargetSocket(f"{self.name}.cpu{cpu}", self._make_cpu_transport(cpu))
+            for cpu in range(num_cpus)
+        ]
+        self.num_sgis_sent = 0
+        self.num_acks = 0
+        self.num_eois = 0
+
+    # -- peripheral-facing interrupt inputs ------------------------------------
+    def spi_in(self, irq: int) -> IrqLine:
+        """Level-sensitive SPI input line (irq id >= 32)."""
+        if irq < 32 or irq >= self.MAX_IRQS:
+            raise ValueError(f"SPI id must be in [32, {self.MAX_IRQS}), got {irq}")
+        line = IrqLine(f"{self.name}.spi{irq}", self.kernel)
+        line.connect(lambda level, irq=irq: self._spi_changed(irq, level))
+        self.spi_targets.setdefault(irq, 0x1)     # default target: cpu 0
+        return line
+
+    def ppi_in(self, cpu: int, irq: int) -> IrqLine:
+        """Per-core private peripheral interrupt input (16 <= id < 32)."""
+        if not 16 <= irq < 32:
+            raise ValueError(f"PPI id must be in [16, 32), got {irq}")
+        line = IrqLine(f"{self.name}.cpu{cpu}.ppi{irq}", self.kernel)
+        line.connect(lambda level, cpu=cpu, irq=irq: self._ppi_changed(cpu, irq, level))
+        return line
+
+    def _spi_changed(self, irq: int, level: bool) -> None:
+        self.spi_levels[irq] = level
+        if level:
+            self.pending_spi.add(irq)
+        self._update_lines()
+
+    def _ppi_changed(self, cpu: int, irq: int, level: bool) -> None:
+        if level:
+            self.pending_banked[cpu].add(irq)
+        else:
+            self.pending_banked[cpu].discard(irq)
+        self._update_lines()
+
+    # -- host-side helpers ---------------------------------------------------------
+    def send_sgi(self, irq: int, target_mask: int) -> None:
+        """Raise SGI ``irq`` on every core in ``target_mask`` (testing hook)."""
+        if not 0 <= irq < 16:
+            raise ValueError(f"SGI id must be in [0, 16), got {irq}")
+        for cpu in range(self.num_cpus):
+            if target_mask & (1 << cpu):
+                self.pending_banked[cpu].add(irq)
+        self.num_sgis_sent += 1
+        self._update_lines()
+
+    # -- line computation --------------------------------------------------------------
+    def _routed_pending(self, cpu: int) -> List[int]:
+        """Enabled pending interrupts routed to ``cpu`` (not yet active)."""
+        candidates: List[int] = []
+        if not self.dist_enabled or not self.cpu_enabled[cpu]:
+            return candidates
+        for irq in self.pending_banked[cpu]:
+            if irq in self.enabled or irq < 16:   # SGIs are always enabled
+                if irq not in self.active[cpu]:
+                    candidates.append(irq)
+        for irq in self.pending_spi:
+            if irq in self.enabled and self.spi_targets.get(irq, 0) & (1 << cpu):
+                if irq not in self.active[cpu]:
+                    candidates.append(irq)
+        return candidates
+
+    def _update_lines(self) -> None:
+        for cpu in range(self.num_cpus):
+            self.irq_out[cpu].write(bool(self._routed_pending(cpu)))
+
+    # -- acknowledge / EOI --------------------------------------------------------------
+    def acknowledge(self, cpu: int) -> int:
+        """GICC_IAR read: claim the highest-priority pending interrupt."""
+        candidates = self._routed_pending(cpu)
+        if not candidates:
+            return SPURIOUS_IRQ
+        irq = min(candidates)    # lowest id wins (no priority regs modeled)
+        self.num_acks += 1
+        if irq < 32:
+            self.pending_banked[cpu].discard(irq)
+        else:
+            self.pending_spi.discard(irq)
+        self.active[cpu].add(irq)
+        self._update_lines()
+        return irq
+
+    def end_of_interrupt(self, cpu: int, irq: int) -> None:
+        """GICC_EOIR write: deactivate; re-pend level-triggered SPIs."""
+        self.active[cpu].discard(irq)
+        self.num_eois += 1
+        if irq >= 32 and self.spi_levels.get(irq):
+            self.pending_spi.add(irq)
+        self._update_lines()
+
+    # -- TLM transport -----------------------------------------------------------------
+    def _dist_transport(self, payload: GenericPayload, delay: SimTime) -> SimTime:
+        offset = payload.address
+        if payload.is_read:
+            value = self._dist_read(offset, payload.length)
+            if value is None:
+                payload.set_error(ResponseStatus.ADDRESS_ERROR)
+                return delay
+            payload.set_data_int(value, payload.length)
+            payload.set_ok()
+            return delay + SimTime.ns(10)
+        if payload.is_write:
+            if not self._dist_write(offset, payload.data_as_int(), payload.length):
+                payload.set_error(ResponseStatus.ADDRESS_ERROR)
+                return delay
+            payload.set_ok()
+            return delay + SimTime.ns(10)
+        payload.set_error(ResponseStatus.COMMAND_ERROR)
+        return delay
+
+    def _dist_read(self, offset: int, length: int) -> Optional[int]:
+        if offset == GICD_CTLR:
+            return int(self.dist_enabled)
+        if offset == GICD_TYPER:
+            lines = self.MAX_IRQS // 32 - 1
+            return ((self.num_cpus - 1) << 5) | lines
+        if GICD_ISENABLER <= offset < GICD_ISENABLER + 0x80:
+            bank = (offset - GICD_ISENABLER) // 4
+            return self._enable_bits(bank)
+        if GICD_ITARGETSR <= offset < GICD_ITARGETSR + self.MAX_IRQS:
+            irq = offset - GICD_ITARGETSR
+            return self.spi_targets.get(irq, 1 if irq < 32 else 0)
+        return 0 if offset < GICD_SIZE else None
+
+    def _enable_bits(self, bank: int) -> int:
+        value = 0
+        for bit in range(32):
+            if bank * 32 + bit in self.enabled:
+                value |= 1 << bit
+        return value
+
+    def _dist_write(self, offset: int, value: int, length: int) -> bool:
+        if offset == GICD_CTLR:
+            self.dist_enabled = bool(value & 1)
+            self._update_lines()
+            return True
+        if GICD_ISENABLER <= offset < GICD_ISENABLER + 0x80:
+            bank = (offset - GICD_ISENABLER) // 4
+            for bit in range(32):
+                if value & (1 << bit):
+                    self.enabled.add(bank * 32 + bit)
+            self._update_lines()
+            return True
+        if GICD_ICENABLER <= offset < GICD_ICENABLER + 0x80:
+            bank = (offset - GICD_ICENABLER) // 4
+            for bit in range(32):
+                if value & (1 << bit):
+                    self.enabled.discard(bank * 32 + bit)
+            self._update_lines()
+            return True
+        if GICD_ISPENDR <= offset < GICD_ISPENDR + 0x80:
+            bank = (offset - GICD_ISPENDR) // 4
+            for bit in range(32):
+                if value & (1 << bit):
+                    irq = bank * 32 + bit
+                    if irq >= 32:
+                        self.pending_spi.add(irq)
+            self._update_lines()
+            return True
+        if GICD_ICPENDR <= offset < GICD_ICPENDR + 0x80:
+            bank = (offset - GICD_ICPENDR) // 4
+            for bit in range(32):
+                if value & (1 << bit):
+                    self.pending_spi.discard(bank * 32 + bit)
+            self._update_lines()
+            return True
+        if GICD_ITARGETSR <= offset < GICD_ITARGETSR + self.MAX_IRQS:
+            for index in range(length):
+                irq = offset - GICD_ITARGETSR + index
+                if irq >= 32:
+                    self.spi_targets[irq] = (value >> (8 * index)) & 0xFF
+            self._update_lines()
+            return True
+        if offset == GICD_SGIR:
+            sgi = value & 0xF
+            filter_mode = (value >> 24) & 0x3
+            targets = (value >> 16) & 0xFF
+            if filter_mode == 1:          # all but self (sender unknown: all)
+                targets = (1 << self.num_cpus) - 1
+            elif filter_mode == 2:        # self only: approximate as cpu0
+                targets = 0x1
+            self.send_sgi(sgi, targets)
+            return True
+        return offset < GICD_SIZE
+
+    def _make_cpu_transport(self, cpu: int):
+        def transport(payload: GenericPayload, delay: SimTime) -> SimTime:
+            offset = payload.address
+            if payload.is_read:
+                if offset == GICC_IAR:
+                    payload.set_data_int(self.acknowledge(cpu), payload.length)
+                elif offset == GICC_CTLR:
+                    payload.set_data_int(int(self.cpu_enabled[cpu]), payload.length)
+                elif offset == GICC_PMR:
+                    payload.set_data_int(self.priority_mask[cpu], payload.length)
+                elif offset < GICC_SIZE:
+                    payload.set_data_int(0, payload.length)
+                else:
+                    payload.set_error(ResponseStatus.ADDRESS_ERROR)
+                    return delay
+                payload.set_ok()
+                return delay + SimTime.ns(10)
+            if payload.is_write:
+                value = payload.data_as_int()
+                if offset == GICC_CTLR:
+                    self.cpu_enabled[cpu] = bool(value & 1)
+                    self._update_lines()
+                elif offset == GICC_PMR:
+                    self.priority_mask[cpu] = value & 0xFF
+                elif offset == GICC_EOIR:
+                    self.end_of_interrupt(cpu, value & 0x3FF)
+                elif offset >= GICC_SIZE:
+                    payload.set_error(ResponseStatus.ADDRESS_ERROR)
+                    return delay
+                payload.set_ok()
+                return delay + SimTime.ns(10)
+            payload.set_error(ResponseStatus.COMMAND_ERROR)
+            return delay
+        return transport

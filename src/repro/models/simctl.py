@@ -1,0 +1,62 @@
+"""Simulation-control peripheral.
+
+A tiny VP-side device the guest uses to talk to the simulation harness:
+signal boot completion, report benchmark checkpoints and request shutdown.
+Real VPs have an equivalent (VCML's ``simdev``); it is how wall-clock
+measurements like "Linux boot duration" get a precise end marker.
+
+======  ==========  ==============================================
+offset  name        function
+======  ==========  ==============================================
+0x00    SHUTDOWN    write: stop the simulation (value = exit code)
+0x08    BOOT_DONE   write: record boot completion
+0x10    CHECKPOINT  write: record a numbered checkpoint
+0x18    SIMTIME_NS  read: current simulation time in ns
+======  ==========  ==============================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..systemc.module import Module
+from ..systemc.time import SimTime
+from ..vcml.peripheral import Peripheral
+from ..vcml.register import Access
+
+
+class SimControl(Peripheral):
+    """Guest-to-harness signalling device."""
+
+    def __init__(self, name: str, parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.shutdown_requested = False
+        self.exit_code = 0
+        self.boot_done_at: Optional[SimTime] = None
+        self.checkpoints: List[Tuple[int, SimTime]] = []
+        self.on_shutdown: Optional[Callable[[int], None]] = None
+        self.on_boot_done: Optional[Callable[[SimTime], None]] = None
+        self.add_register("shutdown", 0x00, size=8, access=Access.WRITE,
+                          on_write=self._write_shutdown)
+        self.add_register("boot_done", 0x08, size=8, access=Access.WRITE,
+                          on_write=self._write_boot_done)
+        self.add_register("checkpoint", 0x10, size=8, access=Access.WRITE,
+                          on_write=self._write_checkpoint)
+        self.add_register("simtime_ns", 0x18, size=8, access=Access.READ,
+                          on_read=lambda: int(self.now.to_ns()))
+
+    def _write_shutdown(self, value: int) -> None:
+        self.shutdown_requested = True
+        self.exit_code = value
+        if self.on_shutdown is not None:
+            self.on_shutdown(value)
+        self.kernel.stop()
+
+    def _write_boot_done(self, value: int) -> None:
+        if self.boot_done_at is None:
+            self.boot_done_at = self.now
+        if self.on_boot_done is not None:
+            self.on_boot_done(self.now)
+
+    def _write_checkpoint(self, value: int) -> None:
+        self.checkpoints.append((value, self.now))

@@ -1,0 +1,250 @@
+"""The discrete-event simulation kernel.
+
+Implements the SystemC scheduling semantics (IEEE 1666):
+
+1. *Evaluation phase*: run every runnable process until it waits.
+2. *Update phase*: apply primitive-channel (signal) update requests.
+3. *Delta notification phase*: mature delta notifications; if any process
+   became runnable, start a new delta cycle at the same simulation time.
+4. *Time advance*: pop the earliest timed notification(s) and continue.
+
+Processes are cooperative generators (see :mod:`repro.systemc.process`); the
+whole kernel is single-threaded and fully deterministic.  The "parallel
+execution" of CPU cores from the paper is modeled through the host-time
+ledger (:mod:`repro.host.accounting`), not host threads, which keeps runs
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Deque, Generator, List, Optional
+
+from .event import Event
+from .process import MethodProcess, Process, ProcessState
+from .time import SimTime
+
+_current_kernel: Optional["Kernel"] = None
+
+
+def current_kernel() -> "Kernel":
+    """Return the kernel currently elaborating or simulating."""
+    if _current_kernel is None:
+        raise RuntimeError("no active simulation kernel; create a Kernel first")
+    return _current_kernel
+
+
+class _TimedEntry:
+    """A cancellable entry in the timed-notification heap."""
+
+    __slots__ = ("due", "seq", "action", "cancelled")
+
+    def __init__(self, due: SimTime, seq: int, action: Callable[[], None]):
+        self.due = due
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "_TimedEntry") -> bool:
+        if self.due.picoseconds != other.due.picoseconds:
+            return self.due.picoseconds < other.due.picoseconds
+        return self.seq < other.seq
+
+
+class SimulationStopped(Exception):
+    """Raised internally when ``Kernel.stop()`` is requested mid-cycle."""
+
+
+class Kernel:
+    """A single-threaded SystemC-like discrete-event scheduler."""
+
+    def __init__(self):
+        global _current_kernel
+        self._now = SimTime.zero()
+        self._runnable: Deque[Process] = deque()
+        self._runnable_set = set()
+        self._delta_events: List[Event] = []
+        self._delta_wakeups: List[Process] = []
+        self._timed: List[_TimedEntry] = []
+        self._seq = itertools.count()
+        self._processes: List[Process] = []
+        self._methods: Deque[MethodProcess] = deque()
+        self._update_requests: List = []
+        self._stop_requested = False
+        self._running = False
+        self._current_process: Optional[Process] = None
+        self.delta_count = 0
+        _current_kernel = self
+
+    # -- registration -----------------------------------------------------
+    def spawn(self, body: Callable[[], Generator], name: str = "process") -> Process:
+        """Create a new SC_THREAD-like process and make it initially runnable."""
+        process = Process(name, body, self)
+        self._processes.append(process)
+        self._make_runnable(process)
+        return process
+
+    def create_method(
+        self, callback: Callable[[], None], name: str = "method", sensitive_to=()
+    ) -> MethodProcess:
+        method = MethodProcess(name, callback, self, sensitive_to)
+        for event in method.sensitivity:
+            event._attach(self)
+            event._add_waiter(_MethodWaiter(method))
+        return method
+
+    def event(self, name: str = "event") -> Event:
+        return Event(name, self)
+
+    # -- state --------------------------------------------------------------
+    @property
+    def now(self) -> SimTime:
+        return self._now
+
+    @property
+    def current_process(self) -> Optional[Process]:
+        return self._current_process
+
+    def pending_activity(self) -> bool:
+        return bool(self._runnable or self._delta_events or self._delta_wakeups or self._timed)
+
+    # -- scheduling hooks (used by Event/Process) ------------------------------
+    def _make_runnable(self, process: Process) -> None:
+        if process.finished:
+            return
+        if id(process) not in self._runnable_set:
+            self._runnable.append(process)
+            self._runnable_set.add(id(process))
+
+    def _trigger_event(self, event: Event) -> None:
+        # Immediate notification: wake all waiters right now.
+        for waiter in list(event._waiters):
+            waiter._wake(self)
+
+    def _schedule_delta_notification(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def _schedule_delta_wakeup(self, process: Process) -> None:
+        self._delta_wakeups.append(process)
+
+    def _schedule_timed_notification(self, event: Event, due: SimTime) -> _TimedEntry:
+        entry = _TimedEntry(due, next(self._seq), event._fire)
+        heapq.heappush(self._timed, entry)
+        return entry
+
+    def _schedule_timed_wakeup(self, process: Process, due: SimTime, timeout: bool = False) -> _TimedEntry:
+        entry = _TimedEntry(due, next(self._seq), lambda: process._wake(self, timed_out=timeout))
+        heapq.heappush(self._timed, entry)
+        return entry
+
+    def schedule_callback(self, delay: SimTime, callback: Callable[[], None]) -> _TimedEntry:
+        """Run ``callback`` after ``delay`` simulated time (kernel context)."""
+        entry = _TimedEntry(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._timed, entry)
+        return entry
+
+    def _queue_method(self, method: MethodProcess) -> None:
+        self._methods.append(method)
+
+    def request_update(self, channel) -> None:
+        """Primitive-channel update request (``sc_prim_channel``)."""
+        if channel not in self._update_requests:
+            self._update_requests.append(channel)
+
+    # -- control ---------------------------------------------------------------
+    def stop(self) -> None:
+        self._stop_requested = True
+
+    def run(self, duration: Optional[SimTime] = None) -> SimTime:
+        """Run the simulation.
+
+        With ``duration`` the kernel simulates at most that much additional
+        time; without it, until no activity remains or :meth:`stop` is
+        called.  Returns the simulation time reached.
+        """
+        global _current_kernel
+        _current_kernel = self
+        deadline = None if duration is None else self._now + duration
+        self._stop_requested = False
+        self._running = True
+        try:
+            while not self._stop_requested:
+                self._delta_cycle()
+                if self._stop_requested:
+                    break
+                if self._runnable:
+                    continue
+                if not self._advance_time(deadline):
+                    break
+        finally:
+            self._running = False
+        if (not self._stop_requested and deadline is not None
+                and self._now < deadline and not self.pending_activity()):
+            self._now = deadline
+        return self._now
+
+    # -- internals --------------------------------------------------------------
+    def _delta_cycle(self) -> None:
+        """One evaluate/update/delta-notify cycle at the current time."""
+        progressed = bool(self._runnable or self._methods)
+        # Evaluation phase.
+        while self._runnable or self._methods:
+            while self._methods:
+                self._methods.popleft()._run()
+            if not self._runnable:
+                break
+            process = self._runnable.popleft()
+            self._runnable_set.discard(id(process))
+            if process.finished or process.state == ProcessState.SUSPENDED:
+                continue
+            self._current_process = process
+            try:
+                process._step(self)
+            finally:
+                self._current_process = None
+            if self._stop_requested:
+                return
+        # Update phase.
+        updates, self._update_requests = self._update_requests, []
+        for channel in updates:
+            channel._update()
+        # Delta notification phase.
+        delta_events, self._delta_events = self._delta_events, []
+        delta_wakeups, self._delta_wakeups = self._delta_wakeups, []
+        for event in delta_events:
+            event._fire()
+        for process in delta_wakeups:
+            process._wake(self)
+        if progressed or delta_events or delta_wakeups:
+            self.delta_count += 1
+
+    def _advance_time(self, deadline: Optional[SimTime]) -> bool:
+        """Pop the earliest timed entries; return False when simulation ends."""
+        while self._timed and self._timed[0].cancelled:
+            heapq.heappop(self._timed)
+        if not self._timed:
+            return False
+        due = self._timed[0].due
+        if deadline is not None and due > deadline:
+            self._now = deadline
+            return False
+        self._now = due
+        while self._timed and self._timed[0].due == due:
+            entry = heapq.heappop(self._timed)
+            if not entry.cancelled:
+                entry.action()
+        return True
+
+
+class _MethodWaiter:
+    """Adapter letting a MethodProcess sit in an Event's waiter list."""
+
+    __slots__ = ("method",)
+
+    def __init__(self, method: MethodProcess):
+        self.method = method
+
+    def _wake(self, kernel: "Kernel", timed_out: bool = False) -> None:
+        self.method.trigger()

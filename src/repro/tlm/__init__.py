@@ -1,0 +1,25 @@
+"""TLM-2.0-like transaction-level modeling layer.
+
+Generic payload, blocking transport sockets, DMI, and temporal decoupling
+(global quantum + quantum keeper) — the interfaces the paper's KVM CPU model
+and the baseline ISS model both program against.
+"""
+
+from .dmi import DmiAccess, DmiManager, DmiRegion
+from .payload import Command, GenericPayload, ResponseStatus, TlmError
+from .quantum import GlobalQuantum, QuantumKeeper
+from .sockets import InitiatorSocket, TargetSocket
+
+__all__ = [
+    "Command",
+    "DmiAccess",
+    "DmiManager",
+    "DmiRegion",
+    "GenericPayload",
+    "GlobalQuantum",
+    "InitiatorSocket",
+    "QuantumKeeper",
+    "ResponseStatus",
+    "TargetSocket",
+    "TlmError",
+]

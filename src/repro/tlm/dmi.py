@@ -1,0 +1,124 @@
+"""TLM Direct Memory Interface (DMI).
+
+DMI lets an initiator bypass transaction-level transport and access a target's
+backing storage directly.  The paper relies on this twice:
+
+* the ISS uses DMI pointers for fast load/store handling, and
+* the KVM CPU model queries DMI for the RAM model and maps the returned
+  region into the guest as a KVM memory slot, so guest loads/stores run
+  natively without any simulator involvement.
+
+A :class:`DmiRegion` wraps a ``memoryview`` over the target's storage plus the
+covered address range and granted access rights.  Targets that re-layout
+memory call :meth:`DmiManager.invalidate`, which initiators observe through
+registered callbacks (``invalidate_direct_mem_ptr``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+
+class DmiAccess(enum.Flag):
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    READ_WRITE = READ | WRITE
+
+
+class DmiRegion:
+    """A direct-access window into a target's backing storage."""
+
+    __slots__ = ("start", "end", "memory", "access", "read_latency_ps", "write_latency_ps")
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        memory: memoryview,
+        access: DmiAccess = DmiAccess.READ_WRITE,
+        read_latency_ps: int = 0,
+        write_latency_ps: int = 0,
+    ):
+        if end < start:
+            raise ValueError(f"DMI region end 0x{end:x} before start 0x{start:x}")
+        expected = end - start + 1
+        if len(memory) != expected:
+            raise ValueError(f"DMI backing size {len(memory)} != range size {expected}")
+        self.start = start
+        self.end = end
+        self.memory = memory
+        self.access = access
+        self.read_latency_ps = read_latency_ps
+        self.write_latency_ps = write_latency_ps
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start + 1
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.start <= address and address + length - 1 <= self.end
+
+    def allows_read(self) -> bool:
+        return bool(self.access & DmiAccess.READ)
+
+    def allows_write(self) -> bool:
+        return bool(self.access & DmiAccess.WRITE)
+
+    def view(self, address: int, length: int) -> memoryview:
+        if not self.contains(address, length):
+            raise ValueError(
+                f"access 0x{address:x}+{length} outside DMI region "
+                f"[0x{self.start:x}, 0x{self.end:x}]"
+            )
+        offset = address - self.start
+        return self.memory[offset:offset + length]
+
+    def __repr__(self) -> str:
+        return f"DmiRegion([0x{self.start:x}, 0x{self.end:x}], {self.access})"
+
+
+class DmiManager:
+    """Tracks granted DMI regions for one initiator and their invalidation."""
+
+    def __init__(self):
+        self._regions: List[DmiRegion] = []
+        self._invalidation_callbacks: List[Callable[[int, int], None]] = []
+
+    def add(self, region: DmiRegion) -> DmiRegion:
+        self._regions.append(region)
+        return region
+
+    def lookup(self, address: int, length: int = 1, write: bool = False) -> Optional[DmiRegion]:
+        for region in self._regions:
+            if region.contains(address, length):
+                if write and not region.allows_write():
+                    continue
+                if not write and not region.allows_read():
+                    continue
+                return region
+        return None
+
+    def on_invalidate(self, callback: Callable[[int, int], None]) -> None:
+        self._invalidation_callbacks.append(callback)
+
+    def invalidate(self, start: int = 0, end: int = 2**64 - 1) -> int:
+        """Drop regions overlapping [start, end]; returns how many were dropped."""
+        kept, dropped = [], 0
+        for region in self._regions:
+            if region.end < start or region.start > end:
+                kept.append(region)
+            else:
+                dropped += 1
+        self._regions = kept
+        if dropped:
+            for callback in self._invalidation_callbacks:
+                callback(start, end)
+        return dropped
+
+    def clear(self) -> None:
+        self.invalidate()
+
+    def __len__(self) -> int:
+        return len(self._regions)

@@ -1,0 +1,136 @@
+"""TLM-2.0 generic payload.
+
+Faithful (Pythonic) port of ``tlm::tlm_generic_payload`` — command, address,
+data, byte enables, streaming width, DMI hint, and response status.  Models
+communicate exclusively through this structure plus the blocking-transport
+interface, which is what lets the KVM CPU model act as a drop-in replacement
+for an ISS: both emit identical transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Command(enum.Enum):
+    IGNORE = 0
+    READ = 1
+    WRITE = 2
+
+
+class ResponseStatus(enum.Enum):
+    INCOMPLETE = "incomplete"
+    OK = "ok"
+    GENERIC_ERROR = "generic_error"
+    ADDRESS_ERROR = "address_error"
+    COMMAND_ERROR = "command_error"
+    BURST_ERROR = "burst_error"
+    BYTE_ENABLE_ERROR = "byte_enable_error"
+
+    @property
+    def is_ok(self) -> bool:
+        return self is ResponseStatus.OK
+
+    @property
+    def is_error(self) -> bool:
+        return self not in (ResponseStatus.OK, ResponseStatus.INCOMPLETE)
+
+
+class GenericPayload:
+    """A memory-mapped bus transaction."""
+
+    __slots__ = (
+        "command",
+        "address",
+        "data",
+        "byte_enable",
+        "streaming_width",
+        "dmi_allowed",
+        "response_status",
+        "initiator_id",
+        "is_debug",
+    )
+
+    def __init__(
+        self,
+        command: Command = Command.IGNORE,
+        address: int = 0,
+        data: Optional[bytearray] = None,
+        byte_enable: Optional[bytes] = None,
+        streaming_width: Optional[int] = None,
+        initiator_id: int = 0,
+    ):
+        self.command = command
+        self.address = address
+        self.data = data if data is not None else bytearray()
+        self.byte_enable = byte_enable
+        self.streaming_width = streaming_width if streaming_width is not None else len(self.data)
+        self.dmi_allowed = False
+        self.response_status = ResponseStatus.INCOMPLETE
+        self.initiator_id = initiator_id
+        self.is_debug = False
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def read(cls, address: int, length: int, initiator_id: int = 0) -> "GenericPayload":
+        return cls(Command.READ, address, bytearray(length), initiator_id=initiator_id)
+
+    @classmethod
+    def write(cls, address: int, data: bytes, initiator_id: int = 0) -> "GenericPayload":
+        return cls(Command.WRITE, address, bytearray(data), initiator_id=initiator_id)
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @property
+    def is_read(self) -> bool:
+        return self.command is Command.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.command is Command.WRITE
+
+    def set_ok(self) -> None:
+        self.response_status = ResponseStatus.OK
+
+    def set_error(self, status: ResponseStatus = ResponseStatus.GENERIC_ERROR) -> None:
+        self.response_status = status
+
+    def data_as_int(self) -> int:
+        """Interpret the data buffer as a little-endian unsigned integer."""
+        return int.from_bytes(self.data, "little")
+
+    def set_data_int(self, value: int, length: Optional[int] = None) -> None:
+        size = length if length is not None else len(self.data)
+        self.data[:] = int(value).to_bytes(size, "little")
+        self.streaming_width = size
+
+    def enabled_bytes(self):
+        """Yield indices of data bytes enabled by the byte-enable mask."""
+        if self.byte_enable is None:
+            yield from range(len(self.data))
+            return
+        mask = self.byte_enable
+        for index in range(len(self.data)):
+            if mask[index % len(mask)] != 0:
+                yield index
+
+    def __repr__(self) -> str:
+        return (
+            f"GenericPayload({self.command.name} @0x{self.address:x} "
+            f"len={len(self.data)} status={self.response_status.value})"
+        )
+
+
+class TlmError(Exception):
+    """Raised by initiators that demand successful transport."""
+
+    def __init__(self, payload: GenericPayload):
+        self.payload = payload
+        super().__init__(
+            f"TLM {payload.command.name} at 0x{payload.address:x} failed: "
+            f"{payload.response_status.value}"
+        )

@@ -1,0 +1,88 @@
+"""Temporal decoupling: global quantum and quantum keeper.
+
+Port of ``tlm_utils::tlm_quantumkeeper``.  A loosely-timed initiator keeps a
+*local time offset* ahead of the SystemC time; it only yields back to the
+kernel (synchronizes) when the offset exceeds the global quantum.  The
+quantum is the paper's central performance knob: it determines the KVM run
+budget per ``simulate()`` call and the synchronization frequency between the
+simulated cores (Figs. 5 and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..systemc.kernel import Kernel, current_kernel
+from ..systemc.time import SimTime
+
+
+class GlobalQuantum:
+    """Process-wide quantum value (``tlm::tlm_global_quantum``)."""
+
+    def __init__(self, quantum: Optional[SimTime] = None):
+        self._quantum = quantum if quantum is not None else SimTime.us(1)
+
+    @property
+    def quantum(self) -> SimTime:
+        return self._quantum
+
+    @quantum.setter
+    def quantum(self, value: SimTime) -> None:
+        if not isinstance(value, SimTime):
+            raise TypeError("quantum must be a SimTime")
+        if value.is_zero():
+            raise ValueError("quantum must be non-zero")
+        self._quantum = value
+
+
+class QuantumKeeper:
+    """Tracks one initiator's local time offset against the global quantum."""
+
+    def __init__(self, global_quantum: GlobalQuantum, kernel: Optional[Kernel] = None):
+        self.global_quantum = global_quantum
+        self._kernel = kernel or current_kernel()
+        self._local_offset = SimTime.zero()
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def local_time_offset(self) -> SimTime:
+        """How far this initiator has run ahead of SystemC time."""
+        return self._local_offset
+
+    def current_time(self) -> SimTime:
+        """Effective local time: kernel time plus the local offset."""
+        return self._kernel.now + self._local_offset
+
+    def remaining(self) -> SimTime:
+        """Budget left before a sync is needed."""
+        quantum = self.global_quantum.quantum
+        if self._local_offset >= quantum:
+            return SimTime.zero()
+        return quantum - self._local_offset
+
+    def need_sync(self) -> bool:
+        return self._local_offset >= self.global_quantum.quantum
+
+    # -- mutation -------------------------------------------------------------
+    def inc(self, delta: SimTime) -> None:
+        self._local_offset = self._local_offset + delta
+
+    def set_offset(self, offset: SimTime) -> None:
+        self._local_offset = offset
+
+    def reset(self) -> None:
+        self._local_offset = SimTime.zero()
+
+    def sync_wait(self) -> SimTime:
+        """Return the wait duration that realizes the local offset.
+
+        Usage inside an SC_THREAD::
+
+            yield keeper.sync_wait()
+
+        The keeper resets its offset; after the wait the process is
+        synchronized with the global simulation time.
+        """
+        offset = self._local_offset
+        self._local_offset = SimTime.zero()
+        return offset

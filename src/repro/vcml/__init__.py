@@ -1,0 +1,24 @@
+"""VCML-like modeling layer: components, peripherals, registers, memory,
+router and the loosely-timed processor shell the paper's CPU model plugs
+into."""
+
+from .component import Component
+from .memory import Memory
+from .peripheral import Peripheral
+from .processor import Processor, SimulateAction, SimulateResult
+from .register import Access, Register, RegisterFile
+from .router import AddressRange, Router
+
+__all__ = [
+    "Access",
+    "AddressRange",
+    "Component",
+    "Memory",
+    "Peripheral",
+    "Processor",
+    "Register",
+    "RegisterFile",
+    "Router",
+    "SimulateAction",
+    "SimulateResult",
+]

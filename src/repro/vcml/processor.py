@@ -1,0 +1,198 @@
+"""Processor base class (``vcml::processor``).
+
+Implements the loosely-timed simulation loop the paper builds on: an
+SC_THREAD repeatedly asks the backend to ``simulate(cycles)`` for the
+remainder of the current quantum, advances the local time offset by the
+cycles actually consumed, and synchronizes with the SystemC kernel when the
+quantum is exhausted.
+
+The backend (ISS or KVM) reports what stopped it through
+:class:`SimulateResult`:
+
+* ``CONTINUE`` — budget exhausted or an MMIO access was already handled;
+  keep looping.
+* ``WAIT_IRQ``  — the core executed WFI (annotated); the thread synchronizes
+  and then suspends on the interrupt event, skipping idle time entirely.
+* ``HALT``      — the core is done (test finished / powered off).
+
+Parallel execution (the DAC'24 parallelization scheme the paper reuses) is
+modeled through the host-time ledger: when ``parallel`` is enabled each
+core's simulate work is billed to its own host lane, and lanes are combined
+per quantum window by ``max`` instead of ``sum``.  Functional behaviour is
+identical in both modes, which mirrors the paper's claim that parallel mode
+changes performance, not semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from ..systemc.module import Module
+from ..systemc.signal import IrqLine
+from ..systemc.time import SimTime
+from ..tlm.quantum import GlobalQuantum, QuantumKeeper
+from ..tlm.sockets import InitiatorSocket
+from .component import Component
+
+
+class SimulateAction(enum.Enum):
+    CONTINUE = "continue"
+    WAIT_IRQ = "wait_irq"
+    HALT = "halt"
+    BREAK = "break"      # debugger stop: pause this core, stop the kernel
+
+
+class SimulateResult:
+    """Outcome of one backend ``simulate`` call."""
+
+    __slots__ = ("cycles", "action")
+
+    def __init__(self, cycles: int, action: SimulateAction = SimulateAction.CONTINUE):
+        if cycles < 0:
+            raise ValueError(f"simulate consumed negative cycles: {cycles}")
+        self.cycles = cycles
+        self.action = action
+
+    def __repr__(self) -> str:
+        return f"SimulateResult(cycles={self.cycles}, action={self.action.value})"
+
+
+class Processor(Component):
+    """Loosely-timed CPU model shell; subclasses provide ``simulate()``."""
+
+    def __init__(
+        self,
+        name: str,
+        global_quantum: GlobalQuantum,
+        core_id: int = 0,
+        parent: Optional[Module] = None,
+        parallel: bool = False,
+    ):
+        super().__init__(name, parent)
+        self.core_id = core_id
+        self.parallel = parallel
+        self.data_socket = InitiatorSocket(f"{self.name}.data", initiator_id=core_id)
+        self.keeper = QuantumKeeper(global_quantum, self.kernel)
+        self.irq_event = self.sc_event("irq")
+        self.irq_lines: Dict[int, IrqLine] = {}
+        self._irq_levels: Dict[int, bool] = {}
+        self.waiting_for_irq = False
+        self.halted = False
+        self.host_ledger = None  # attached by the VP (repro.host.accounting)
+        # Statistics
+        self.total_cycles = 0
+        self.num_simulate_calls = 0
+        self.num_syncs = 0
+        self._thread = None
+        self.halt_callback = None  # invoked (once) when the core halts
+        # Debugger support: a BREAK simulate action parks the thread here.
+        self.debug_paused = False
+        self.debug_resume_event = self.sc_event("debug_resume")
+
+    # -- elaboration -----------------------------------------------------------
+    def start_of_simulation(self) -> None:
+        if self._thread is None:
+            self._thread = self.sc_thread(self._processor_thread, name=f"core{self.core_id}")
+
+    # -- interrupt wiring --------------------------------------------------------
+    def irq_in(self, number: int) -> IrqLine:
+        """Return (creating on demand) the interrupt input line ``number``."""
+        line = self.irq_lines.get(number)
+        if line is None:
+            line = IrqLine(f"{self.name}.irq{number}", self.kernel)
+            line.connect(lambda level, num=number: self._irq_changed(num, level))
+            self.irq_lines[number] = line
+        return line
+
+    def _irq_changed(self, number: int, level: bool) -> None:
+        self._irq_levels[number] = level
+        self.on_interrupt(number, level)
+        if level:
+            self.irq_event.notify(delay=None)
+
+    def irq_pending(self) -> bool:
+        return any(self._irq_levels.values())
+
+    def on_interrupt(self, number: int, level: bool) -> None:
+        """Subclass hook: forward the line level into the execution backend."""
+
+    # -- host-time accounting -------------------------------------------------------
+    def bill_host_time(self, nanoseconds: float, category: str = "cpu",
+                       main_thread: bool = False) -> None:
+        """Record modeled host wall-clock work for this core.
+
+        ``main_thread`` work (MMIO handling, sync) always lands on the main
+        lane; core work lands on the core's own lane when parallel mode is
+        enabled, otherwise also on the main lane.
+        """
+        if self.host_ledger is None or nanoseconds <= 0:
+            return
+        if main_thread or not self.parallel:
+            lane = self.host_ledger.MAIN_LANE
+        else:
+            lane = self.core_id
+        window = self.keeper.current_time() // self.host_ledger.window_size
+        self.host_ledger.add(window, lane, nanoseconds, category)
+
+    # -- backend interface ------------------------------------------------------------
+    def simulate(self, cycles: int) -> SimulateResult:
+        """Execute up to ``cycles`` target cycles; must be overridden."""
+        raise NotImplementedError
+
+    def wants_stop(self) -> bool:
+        """Subclass hook: request the processor thread to end."""
+        return False
+
+    # -- the simulation loop -------------------------------------------------------------
+    def _processor_thread(self):
+        while not self.halted and not self.wants_stop():
+            if self.in_reset:
+                yield self.rst.deasserted_event
+                continue
+            remaining = self.keeper.remaining()
+            if remaining.is_zero():
+                self.num_syncs += 1
+                yield self.keeper.sync_wait()
+                continue
+            cycles = self.time_to_cycles(remaining)
+            if cycles <= 0:
+                # Quantum finer than one clock cycle: force minimal progress.
+                cycles = 1
+            self.num_simulate_calls += 1
+            result = self.simulate(cycles)
+            self.total_cycles += result.cycles
+            self.keeper.inc(self.cycles_to_time(result.cycles))
+            if result.action is SimulateAction.HALT:
+                self.halted = True
+                self.num_syncs += 1
+                yield self.keeper.sync_wait()
+                break
+            if result.action is SimulateAction.BREAK:
+                # Debugger stop: realize local time, park until resumed,
+                # and hand control back to the host (the debugger).
+                self.num_syncs += 1
+                yield self.keeper.sync_wait()
+                self.debug_paused = True
+                self.kernel.stop()
+                yield self.debug_resume_event
+                self.debug_paused = False
+                continue
+            if result.action is SimulateAction.WAIT_IRQ:
+                # Realize local time, then sleep until an interrupt arrives.
+                self.num_syncs += 1
+                yield self.keeper.sync_wait()
+                if not self.irq_pending():
+                    self.waiting_for_irq = True
+                    yield self.irq_event
+                    self.waiting_for_irq = False
+                continue
+            if self.keeper.need_sync():
+                self.num_syncs += 1
+                yield self.keeper.sync_wait()
+        self.on_halt()
+        if self.halt_callback is not None:
+            self.halt_callback(self)
+
+    def on_halt(self) -> None:
+        """Subclass hook invoked when the processor thread terminates."""

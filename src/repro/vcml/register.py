@@ -1,0 +1,172 @@
+"""Register modeling for peripherals (VCML ``reg``-style).
+
+A :class:`Register` describes one memory-mapped register: offset, size,
+reset value, access rights and optional read/write callbacks.  Peripherals
+declare registers and the :class:`RegisterFile` dispatches TLM transactions
+to them, handling partial and multi-register accesses the way VCML does.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+
+class Access(enum.Flag):
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    READ_WRITE = READ | WRITE
+
+    R = READ
+    W = WRITE
+    RW = READ_WRITE
+
+
+class Register:
+    """One memory-mapped register of a peripheral."""
+
+    def __init__(
+        self,
+        name: str,
+        offset: int,
+        size: int = 4,
+        reset: int = 0,
+        access: Access = Access.READ_WRITE,
+        on_read: Optional[Callable[[], int]] = None,
+        on_write: Optional[Callable[[int], None]] = None,
+        write_mask: Optional[int] = None,
+    ):
+        if size not in (1, 2, 4, 8):
+            raise ValueError(f"register {name!r}: unsupported size {size}")
+        self.name = name
+        self.offset = offset
+        self.size = size
+        self.reset_value = reset & self._mask(size)
+        self.access = access
+        self.on_read = on_read
+        self.on_write = on_write
+        self.write_mask = write_mask if write_mask is not None else self._mask(size)
+        self.value = self.reset_value
+
+    @staticmethod
+    def _mask(size: int) -> int:
+        return (1 << (8 * size)) - 1
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size - 1
+
+    def reset(self) -> None:
+        self.value = self.reset_value
+
+    # -- access paths ------------------------------------------------------
+    def read(self) -> int:
+        if not self.access & Access.READ:
+            raise PermissionError(f"register {self.name!r} is write-only")
+        if self.on_read is not None:
+            self.value = self.on_read() & self._mask(self.size)
+        return self.value
+
+    def write(self, value: int) -> None:
+        if not self.access & Access.WRITE:
+            raise PermissionError(f"register {self.name!r} is read-only")
+        value &= self._mask(self.size)
+        if self.on_write is not None:
+            self.on_write(value)
+        else:
+            self.value = (self.value & ~self.write_mask) | (value & self.write_mask)
+
+    def peek(self) -> int:
+        """Debug read without side effects."""
+        return self.value
+
+    def poke(self, value: int) -> None:
+        """Debug write without side effects."""
+        self.value = value & self._mask(self.size)
+
+    def __repr__(self) -> str:
+        return f"Register({self.name!r} @+0x{self.offset:x}/{self.size}, value=0x{self.value:x})"
+
+
+class RegisterFile:
+    """An offset-indexed collection of registers with byte-level dispatch."""
+
+    def __init__(self, owner_name: str = "peripheral"):
+        self.owner_name = owner_name
+        self._registers: List[Register] = []
+        self._by_name: Dict[str, Register] = {}
+
+    def add(self, register: Register) -> Register:
+        for existing in self._registers:
+            if register.offset <= existing.end and existing.offset <= register.end:
+                raise ValueError(
+                    f"{self.owner_name}: register {register.name!r} overlaps {existing.name!r}"
+                )
+        self._registers.append(register)
+        self._registers.sort(key=lambda reg: reg.offset)
+        self._by_name[register.name] = register
+        return register
+
+    def __getitem__(self, name: str) -> Register:
+        return self._by_name[name]
+
+    def __iter__(self):
+        return iter(self._registers)
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def find(self, offset: int) -> Optional[Register]:
+        for register in self._registers:
+            if register.offset <= offset <= register.end:
+                return register
+        return None
+
+    def reset(self) -> None:
+        for register in self._registers:
+            register.reset()
+
+    # -- transaction-level access -------------------------------------------
+    def read_bytes(self, offset: int, length: int, debug: bool = False) -> Optional[bytes]:
+        """Read ``length`` bytes; None if any byte is unmapped/not readable."""
+        out = bytearray()
+        cursor = offset
+        while cursor < offset + length:
+            register = self.find(cursor)
+            if register is None:
+                return None
+            try:
+                value = register.peek() if debug else register.read()
+            except PermissionError:
+                return None
+            raw = value.to_bytes(register.size, "little")
+            start = cursor - register.offset
+            take = min(register.size - start, offset + length - cursor)
+            out += raw[start:start + take]
+            cursor += take
+        return bytes(out)
+
+    def write_bytes(self, offset: int, data: bytes, debug: bool = False) -> bool:
+        """Write bytes with read-modify-write for partial register accesses."""
+        cursor = offset
+        index = 0
+        while index < len(data):
+            register = self.find(cursor)
+            if register is None:
+                return False
+            start = cursor - register.offset
+            take = min(register.size - start, len(data) - index)
+            current = register.peek().to_bytes(register.size, "little")
+            merged = bytearray(current)
+            merged[start:start + take] = data[index:index + take]
+            try:
+                if debug:
+                    register.poke(int.from_bytes(merged, "little"))
+                else:
+                    register.write(int.from_bytes(merged, "little"))
+            except PermissionError:
+                return False
+            cursor += take
+            index += take
+        return True

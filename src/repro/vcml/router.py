@@ -1,0 +1,151 @@
+"""Bus router / interconnect (``vcml::generic::bus``).
+
+Maps global address ranges onto target sockets, rebasing the transaction
+address into the target's local space.  DMI regions granted by targets are
+rebased back into global addresses before being returned to the initiator,
+so a CPU model sees one coherent global DMI map.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..systemc.module import Module
+from ..systemc.time import SimTime
+from ..tlm.dmi import DmiRegion
+from ..tlm.payload import GenericPayload, ResponseStatus
+from ..tlm.sockets import TargetSocket
+from .component import Component
+
+
+class AddressRange(NamedTuple):
+    start: int
+    end: int
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        return self.start <= address and address + length - 1 <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start + 1
+
+
+class _Mapping(NamedTuple):
+    range: AddressRange
+    target: TargetSocket
+    local_base: int
+    name: str
+
+
+class Router(Component):
+    """N:1 address-decoding interconnect."""
+
+    def __init__(self, name: str, parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self._mappings: List[_Mapping] = []
+        self.in_socket = TargetSocket(
+            f"{self.name}.in",
+            transport_fn=self._b_transport,
+            debug_fn=self._transport_dbg,
+            dmi_fn=self._get_direct_mem_ptr,
+            invalidate_hook=self._register_invalidation,
+        )
+        self._invalidation_callbacks = []
+
+    # -- map construction ------------------------------------------------------
+    def map(self, start: int, end: int, target: TargetSocket, local_base: int = 0,
+            name: str = "") -> None:
+        """Route [start, end] to ``target``, rebased to ``local_base``."""
+        new_range = AddressRange(start, end)
+        if end < start:
+            raise ValueError(f"router {self.name!r}: end 0x{end:x} < start 0x{start:x}")
+        for mapping in self._mappings:
+            if mapping.range.overlaps(new_range):
+                raise ValueError(
+                    f"router {self.name!r}: [0x{start:x}, 0x{end:x}] overlaps "
+                    f"{mapping.name or mapping.target.name}"
+                )
+        self._mappings.append(_Mapping(new_range, target, local_base, name or target.name))
+        self._mappings.sort(key=lambda m: m.range.start)
+
+    def mappings(self):
+        return list(self._mappings)
+
+    def find_mapping(self, address: int, length: int = 1) -> Optional[_Mapping]:
+        for mapping in self._mappings:
+            if mapping.range.contains(address, length):
+                return mapping
+        return None
+
+    # -- transport ---------------------------------------------------------------
+    def _decode(self, payload: GenericPayload) -> Optional[_Mapping]:
+        mapping = self.find_mapping(payload.address, max(1, payload.length))
+        if mapping is None:
+            payload.set_error(ResponseStatus.ADDRESS_ERROR)
+        return mapping
+
+    def _b_transport(self, payload: GenericPayload, delay: SimTime) -> SimTime:
+        mapping = self._decode(payload)
+        if mapping is None:
+            return delay
+        original = payload.address
+        payload.address = original - mapping.range.start + mapping.local_base
+        try:
+            return mapping.target.b_transport(payload, delay)
+        finally:
+            payload.address = original
+
+    def _transport_dbg(self, payload: GenericPayload) -> int:
+        mapping = self._decode(payload)
+        if mapping is None:
+            return 0
+        original = payload.address
+        payload.address = original - mapping.range.start + mapping.local_base
+        try:
+            return mapping.target.transport_dbg(payload)
+        finally:
+            payload.address = original
+
+    def _get_direct_mem_ptr(self, payload: GenericPayload) -> Optional[DmiRegion]:
+        mapping = self._decode(payload)
+        if mapping is None:
+            return None
+        original = payload.address
+        payload.address = original - mapping.range.start + mapping.local_base
+        try:
+            region = mapping.target.get_direct_mem_ptr(payload)
+        finally:
+            payload.address = original
+        if region is None:
+            return None
+        # Rebase the granted local region into global addresses, clipped to
+        # the mapped window.
+        global_start = region.start - mapping.local_base + mapping.range.start
+        global_end = region.end - mapping.local_base + mapping.range.start
+        clip_start = max(global_start, mapping.range.start)
+        clip_end = min(global_end, mapping.range.end)
+        if clip_end < clip_start:
+            return None
+        lo = clip_start - global_start
+        hi = lo + (clip_end - clip_start) + 1
+        return DmiRegion(
+            start=clip_start,
+            end=clip_end,
+            memory=region.memory[lo:hi],
+            access=region.access,
+            read_latency_ps=region.read_latency_ps,
+            write_latency_ps=region.write_latency_ps,
+        )
+
+    def _register_invalidation(self, callback) -> None:
+        self._invalidation_callbacks.append(callback)
+        for mapping in self._mappings:
+            register = getattr(mapping.target, "register_invalidation", None)
+            if register is not None:
+                start, base = mapping.range.start, mapping.local_base
+                def rebased(lo, hi, _start=start, _base=base, _cb=callback):
+                    _cb(lo - _base + _start, hi - _base + _start)
+                register(rebased)

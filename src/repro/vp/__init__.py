@@ -1,0 +1,22 @@
+"""Virtual platforms: the ARM-on-ARM (KVM) VP, the AVP64-like ISS VP, the
+shared memory map, configuration, and guest-software descriptors."""
+
+from .config import MemoryMap, VpConfig
+from .platform import AoaPlatform, Avp64Platform, VirtualPlatform, build_platform
+from .software import (
+    GuestSoftware,
+    build_idle_image,
+    default_irq_protocol,
+)
+
+__all__ = [
+    "AoaPlatform",
+    "Avp64Platform",
+    "GuestSoftware",
+    "MemoryMap",
+    "VirtualPlatform",
+    "VpConfig",
+    "build_idle_image",
+    "build_platform",
+    "default_irq_protocol",
+]

@@ -1,0 +1,90 @@
+"""Reusable phase-program fragments: the "guest OS library".
+
+Small generators/constructors shared by the synthetic Linux boot and the
+user-space workloads: GIC bring-up, jiffy-timer programming, SGI sending,
+console output, barriers and the shutdown sequence.
+"""
+
+from __future__ import annotations
+
+from ..iss.phase import AtomicAdd, Compute, Mmio, SpinUntil, Wfi
+from ..models.gic import GICC_CTLR, GICC_PMR, GICD_CTLR, GICD_ISENABLER, GICD_SGIR
+from ..models.timer import CHANNEL_STRIDE
+from .config import MemoryMap
+
+SGI_WAKE = 1
+
+#: Guest-physical scratch area for synchronization flags/counters.
+FLAGS_BASE = 0x0010_0000
+BARRIER_BASE = 0x0011_0000
+
+
+def sgir_value(sgi: int, target_mask: int) -> int:
+    return ((target_mask & 0xFF) << 16) | (sgi & 0xF)
+
+
+def send_sgi(target_mask: int, sgi: int = SGI_WAKE) -> Mmio:
+    """An IPI: one MMIO write to GICD_SGIR."""
+    return Mmio(MemoryMap.GICD_BASE + GICD_SGIR, 4, True, sgir_value(sgi, target_mask))
+
+
+def gic_cpu_setup(core: int):
+    """Enable this core's GIC CPU interface (priority mask + enable)."""
+    base = MemoryMap.gicc_base(core)
+    yield Mmio(base + GICC_PMR, 4, True, 0xFF)
+    yield Mmio(base + GICC_CTLR, 4, True, 1)
+
+
+def gic_dist_setup():
+    """Enable the distributor and the shared SPIs (UART/RTC/SDHCI)."""
+    yield Mmio(MemoryMap.GICD_BASE + GICD_CTLR, 4, True, 1)
+    yield Mmio(MemoryMap.GICD_BASE + GICD_ISENABLER + 4, 4, True, 0x0E)
+
+
+def timer_setup(core: int, timer_hz: float, jiffy_hz: float = 250.0):
+    """Program this core's periodic jiffy-tick channel."""
+    base = MemoryMap.TIMER_BASE + core * CHANNEL_STRIDE
+    interval = max(1, int(timer_hz / jiffy_hz))
+    yield Mmio(base + 0x04, 4, True, interval)   # INTERVAL
+    yield Mmio(base + 0x00, 4, True, 0x7)        # CTRL: enable|periodic|irq
+
+def timer_ack_mmio(core: int) -> Mmio:
+    """The interrupt-clear write a tick handler performs."""
+    return Mmio(MemoryMap.TIMER_BASE + core * CHANNEL_STRIDE + 0x10, 4, True, 1)
+
+
+def console_print(chars: int):
+    """Print ``chars`` characters plus newline through the UART."""
+    for index in range(chars):
+        yield Mmio(MemoryMap.UART_BASE, 1, True, 0x41 + (index % 26))
+    yield Mmio(MemoryMap.UART_BASE, 1, True, 0x0A)
+
+
+def shutdown(code: int = 0) -> Mmio:
+    """Power off the platform through the sim-control device."""
+    return Mmio(MemoryMap.SIMCTL_BASE + 0x00, 8, True, code)
+
+
+def boot_done_marker() -> Mmio:
+    return Mmio(MemoryMap.SIMCTL_BASE + 0x08, 8, True, 1)
+
+
+def idle_forever():
+    while True:
+        yield Wfi()
+
+
+def barrier(slot: int, generation: int, num_cores: int,
+            work_instructions: int = 0, key: str = "barrier"):
+    """An OpenMP-style centralized sense barrier (busy-wait arrival counter).
+
+    Every participating core calls this with the same ``slot`` and
+    monotonically increasing ``generation``.  Arrival is an LDXR/STXR
+    increment; waiting is a busy spin with a ``>=`` comparison so late
+    spinners tolerate counter overshoot from the next generation.
+    """
+    counter = BARRIER_BASE + 16 * slot
+    if work_instructions:
+        yield Compute(work_instructions, key=key, static_blocks=30)
+    yield AtomicAdd(counter, 1)
+    yield SpinUntil(counter, generation * num_cores, ge=True)

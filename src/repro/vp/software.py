@@ -1,0 +1,98 @@
+"""Guest-software descriptors.
+
+A :class:`GuestSoftware` bundles everything a platform needs to run a
+workload:
+
+* an :class:`ElfLite` image — always present; it is loaded into RAM and its
+  symbol table feeds the WFI annotator (``cpu_do_idle`` search);
+* the execution mode: ``interpreter`` (the image's code runs on the
+  functional A64-lite interpreter) or ``phase`` (cores run phase programs
+  at paper scale, and the image only provides symbols/idle-loop code);
+* for phase mode, a program factory mapping core id → generator, and the
+  GIC handshake each core uses to service interrupts.
+
+:func:`build_idle_image` fabricates the minimal Linux-shaped image phase
+workloads share: a real ``cpu_do_idle`` function containing a real ``WFI``
+word, so the annotation pipeline (symbol search → instruction scan →
+breakpoint → PC verify) is exercised unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from ..arch.assembler import assemble
+from ..arch.elf import ElfLite
+from ..iss.phase import IrqProtocol, Mmio, PhaseProgram
+from .config import MemoryMap
+
+#: Where build_idle_image places its code inside guest RAM.
+IDLE_IMAGE_BASE = 0x0000_1000
+
+_IDLE_IMAGE_SOURCE = """
+// Minimal Linux-shaped image: just enough code for WFI annotation.
+_start:
+    b _start
+
+.align 16
+cpu_do_idle:
+    dmb
+    wfi
+    ret
+"""
+
+
+def build_idle_image(base_address: int = IDLE_IMAGE_BASE) -> ElfLite:
+    """A pseudo vmlinux: contains ``cpu_do_idle`` with a genuine WFI word."""
+    return assemble(_IDLE_IMAGE_SOURCE, base_address=base_address, entry_symbol="_start")
+
+
+def default_irq_protocol(core: int, handler_instructions: int = 1500,
+                         device_acks: Optional[Dict[int, Sequence[Mmio]]] = None) -> IrqProtocol:
+    """The GICv2 service sequence for ``core`` (IAR read … EOIR write)."""
+    return IrqProtocol(
+        iar_address=MemoryMap.gicc_iar(core),
+        eoir_address=MemoryMap.gicc_eoir(core),
+        handler_instructions=handler_instructions,
+        device_acks=dict(device_acks or {}),
+    )
+
+
+@dataclass
+class GuestSoftware:
+    """A runnable guest: image + how to execute it."""
+
+    image: ElfLite
+    mode: str = "interpreter"                 # "interpreter" | "phase"
+    phase_programs: Optional[Callable[[int], PhaseProgram]] = None
+    irq_protocols: Optional[Callable[[int], Optional[IrqProtocol]]] = None
+    name: str = "guest"
+    #: guest-physical load offset applied to all image sections
+    load_offset: int = 0
+    #: metadata for reporting (workload instruction counts, etc.)
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.mode not in ("interpreter", "phase"):
+            raise ValueError(f"unknown software mode {self.mode!r}")
+        if self.mode == "phase" and self.phase_programs is None:
+            raise ValueError("phase mode needs phase_programs")
+
+    @classmethod
+    def from_phase_programs(
+        cls,
+        programs: Callable[[int], PhaseProgram],
+        name: str = "workload",
+        irq_protocols: Optional[Callable[[int], Optional[IrqProtocol]]] = None,
+        info: Optional[dict] = None,
+    ) -> "GuestSoftware":
+        """Phase-mode guest with the shared pseudo-Linux idle image."""
+        return cls(
+            image=build_idle_image(),
+            mode="phase",
+            phase_programs=programs,
+            irq_protocols=irq_protocols or (lambda core: default_irq_protocol(core)),
+            name=name,
+            info=dict(info or {}),
+        )

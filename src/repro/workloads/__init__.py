@@ -1,0 +1,37 @@
+"""Workloads of the paper's evaluation: bare-metal Dhrystone, STREAM,
+MiBench (S/L variants), the NAS Parallel Benchmarks, plus the scaffolding
+that puts them on bare metal or a booted Linux."""
+
+from .base import WorkloadInfo, bare_metal_software, user_space_software
+from .dhrystone import DhrystoneParams, dhrystone_software
+from .guest_programs import (
+    RESULT_ADDRESS,
+    functional_dhrystone,
+    functional_memtest,
+    functional_sieve,
+)
+from .mibench import PROFILES as MIBENCH_PROFILES
+from .mibench import MiBenchProfile, mibench_software
+from .npb import PROFILES as NPB_PROFILES
+from .npb import NpbProfile, npb_software
+from .stream import StreamParams, stream_software
+
+__all__ = [
+    "DhrystoneParams",
+    "RESULT_ADDRESS",
+    "functional_dhrystone",
+    "functional_memtest",
+    "functional_sieve",
+    "MIBENCH_PROFILES",
+    "MiBenchProfile",
+    "NPB_PROFILES",
+    "NpbProfile",
+    "StreamParams",
+    "WorkloadInfo",
+    "bare_metal_software",
+    "dhrystone_software",
+    "mibench_software",
+    "npb_software",
+    "stream_software",
+    "user_space_software",
+]

@@ -1,0 +1,60 @@
+"""Bare-metal Dhrystone (Fig. 5).
+
+Single-threaded, integer-only; for multicore runs every core executes its
+own independent instance ("optimally parallelizable, compute-intensive
+workload that does not involve any communication", §V-A).
+
+A real Dhrystone iteration is ~340 instructions across a handful of small
+functions; the whole benchmark fits in ~120 basic blocks, so DBT
+translation overhead vanishes after the first iterations — both VPs run it
+at their steady-state speed, which is exactly what makes it the clean
+native-vs-DBT comparison of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..iss.phase import Compute
+from ..vp.software import GuestSoftware
+from .base import WorkloadInfo, bare_metal_software
+
+#: dynamic instructions per Dhrystone iteration (v2.1, -O2, AArch64-like)
+INSTRUCTIONS_PER_ITERATION = 340
+#: static basic blocks of the whole benchmark
+STATIC_BLOCKS = 120
+#: fraction of loads/stores (record assignments, string copies)
+MEM_FRACTION = 0.35
+
+
+@dataclass
+class DhrystoneParams:
+    iterations: int = 5_000_000
+
+    @property
+    def instructions(self) -> int:
+        return self.iterations * INSTRUCTIONS_PER_ITERATION
+
+
+def dhrystone_software(num_cores: int, params: DhrystoneParams = None) -> GuestSoftware:
+    params = params or DhrystoneParams()
+    chunk = 10_000_000   # re-yield in chunks so huge runs stay interruptible
+
+    def core_program(core: int):
+        def program(ctx):
+            remaining = params.instructions
+            while remaining > 0:
+                take = min(chunk, remaining)
+                yield Compute(take, key="dhrystone", static_blocks=STATIC_BLOCKS,
+                              avg_block_len=9, mem_fraction=MEM_FRACTION)
+                remaining -= take
+        return program
+
+    info = WorkloadInfo(
+        name=f"dhrystone-{num_cores}c",
+        category="bare-metal",
+        instructions_per_core=params.instructions,
+        multithreaded=False,
+        extras={"iterations": params.iterations},
+    )
+    return bare_metal_software(info.name, num_cores, core_program, info)

@@ -1,0 +1,261 @@
+"""Functional guest benchmarks: real A64-lite programs.
+
+The phase programs in this package model workloads at paper scale; these
+are their *functional* counterparts — genuine guest code assembled to
+A64-lite and executed instruction by instruction through the full platform
+stack.  They serve three purposes:
+
+* end-to-end validation that both CPU models execute identical
+  architecture-level behaviour (checksums are asserted);
+* small-scale performance sanity checks (the AoA/AVP64 wall-clock ratio of
+  the functional Dhrystone matches the phase-mode one);
+* realistic guest material for the debugger, tracer and examples.
+
+Each builder returns a :class:`GuestSoftware` plus the expected result the
+guest deposits in RAM at :data:`RESULT_ADDRESS`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..arch.assembler import assemble
+from ..vp.software import GuestSoftware
+
+#: Where every functional benchmark stores its result checksum.
+RESULT_ADDRESS = 0x0000_8000
+
+_PROLOGUE = """
+.equ UART_HI, 0x0904
+.equ SIMCTL_HI, 0x090F
+.equ RESULT, 0x8000
+"""
+
+_EPILOGUE = """
+finish:
+    movz x1, #RESULT
+    str x0, [x1]                 // x0 carries the checksum
+    movz x2, #SIMCTL_HI, lsl #16
+    str x2, [x2]                 // shutdown
+    hlt #0
+"""
+
+# A miniature Dhrystone: the classic mix — record assignment (block copy),
+# string comparison, integer arithmetic through small function calls — in a
+# counted loop.  ~90 dynamic instructions per iteration.
+_DHRYSTONE = _PROLOGUE + """
+.equ RECORD_A, 0x9000
+.equ RECORD_B, 0x9100
+
+_start:
+    movz x29, #ITERATIONS        // loop counter
+    movz x0, #0                  // checksum
+    // initialize record A (4 doublewords) and the two strings
+    movz x1, #RECORD_A
+    movz x2, #0x1111
+    str x2, [x1]
+    movz x2, #0x2222
+    str x2, [x1, #8]
+    movz x2, #0x3333
+    str x2, [x1, #16]
+    movz x2, #0x4444
+    str x2, [x1, #24]
+
+main_loop:
+    // Proc: record assignment B := A  (Dhrystone's structure copy)
+    movz x1, #RECORD_A
+    movz x2, #RECORD_B
+    movz x3, #4
+copy_loop:
+    ldr x4, [x1]
+    str x4, [x2]
+    add x1, x1, #8
+    add x2, x2, #8
+    sub x3, x3, #1
+    cbnz x3, copy_loop
+
+    // Func2-ish: compare the two strings; equal -> add their length
+    adr x1, string_a
+    adr x2, string_b
+    bl strcmp_like
+    add x0, x0, x5
+
+    // Func1-ish: integer work through a call
+    movz x1, #7
+    bl int_work
+    add x0, x0, x1
+
+    // consume one record field into the checksum
+    movz x2, #RECORD_B
+    ldr x3, [x2, #16]
+    add x0, x0, x3
+
+    sub x29, x29, #1
+    cbnz x29, main_loop
+    b finish
+
+// returns x5 = matched length if equal, 0 otherwise; clobbers x3,x4,x6
+strcmp_like:
+    movz x5, #0
+cmp_loop:
+    ldrb x3, [x1]
+    ldrb x4, [x2]
+    cmp x3, x4
+    b.ne cmp_fail
+    cbz x3, cmp_done
+    add x1, x1, #1
+    add x2, x2, #1
+    add x5, x5, #1
+    b cmp_loop
+cmp_fail:
+    movz x5, #0
+cmp_done:
+    ret
+
+// x1 = ((x1 * 3) + 5) % 17, through a helper call chain
+int_work:
+    mov x6, x30                  // save link register
+    bl times_three
+    add x1, x1, #5
+    movz x7, #17
+    urem x1, x1, x7
+    mov x30, x6
+    ret
+times_three:
+    add x8, x1, x1
+    add x1, x8, x1
+    ret
+
+string_a:
+    .asciz "DHRYSTONE PROGRAM, SOME STRING"
+.align 8
+string_b:
+    .asciz "DHRYSTONE PROGRAM, SOME STRING"
+.align 8
+""" + _EPILOGUE
+
+
+def functional_dhrystone(iterations: int = 50) -> Tuple[GuestSoftware, int]:
+    """The mini-Dhrystone plus its expected checksum."""
+    source = _DHRYSTONE.replace("#ITERATIONS", f"#{iterations}")
+    image = assemble(source, base_address=0x1000)
+    # Oracle: per iteration, strcmp adds len("DHRYSTONE PROGRAM, SOME STRING"),
+    # int_work adds ((7*3)+5) % 17, and the record field adds 0x3333.
+    per_iteration = 30 + ((7 * 3 + 5) % 17) + 0x3333
+    expected = iterations * per_iteration
+    software = GuestSoftware(image=image, mode="interpreter",
+                             name=f"dhrystone-functional-{iterations}")
+    return software, expected
+
+
+_MEMTEST = _PROLOGUE + """
+.equ BUFFER, 0xA000
+
+_start:
+    movz x29, #0                 // pass counter
+    movz x0, #0                  // checksum
+
+    // walking pattern write
+    movz x1, #BUFFER
+    movz x2, #WORDS
+    movz x3, #0x1234
+write_loop:
+    str x3, [x1]
+    add x3, x3, #0x11
+    add x1, x1, #8
+    sub x2, x2, #1
+    cbnz x2, write_loop
+
+    // read back and fold into the checksum
+    movz x1, #BUFFER
+    movz x2, #WORDS
+read_loop:
+    ldr x4, [x1]
+    eor x0, x0, x4
+    add x1, x1, #8
+    sub x2, x2, #1
+    cbnz x2, read_loop
+    b finish
+""" + _EPILOGUE
+
+
+def functional_memtest(words: int = 64) -> Tuple[GuestSoftware, int]:
+    """Walking-pattern memory test; expected checksum computed in Python."""
+    source = _MEMTEST.replace("#WORDS", f"#{words}")
+    image = assemble(source, base_address=0x1000)
+    checksum = 0
+    value = 0x1234
+    for _ in range(words):
+        checksum ^= value
+        value += 0x11
+    software = GuestSoftware(image=image, mode="interpreter",
+                             name=f"memtest-functional-{words}")
+    return software, checksum
+
+
+_SIEVE = _PROLOGUE + """
+.equ FLAGS, 0xB000
+
+_start:
+    // clear flag array: flags[i] = 1 means "prime candidate"
+    movz x1, #FLAGS
+    movz x2, #LIMIT
+    movz x3, #1
+init_loop:
+    strb x3, [x1]
+    add x1, x1, #1
+    sub x2, x2, #1
+    cbnz x2, init_loop
+
+    // sieve of Eratosthenes
+    movz x4, #2                  // candidate
+sieve_outer:
+    movz x5, #LIMIT
+    cmp x4, x5
+    b.hs count_primes
+    movz x6, #FLAGS
+    add x7, x6, x4
+    ldrb x8, [x7]
+    cbz x8, next_candidate
+    // cross out multiples starting at 2*candidate
+    add x9, x4, x4
+cross_loop:
+    cmp x9, x5
+    b.hs next_candidate
+    movz x10, #0
+    add x11, x6, x9
+    strb x10, [x11]
+    add x9, x9, x4
+    b cross_loop
+next_candidate:
+    add x4, x4, #1
+    b sieve_outer
+
+count_primes:
+    movz x0, #0
+    movz x4, #2
+    movz x6, #FLAGS
+count_loop:
+    cmp x4, x5
+    b.hs finish
+    add x7, x6, x4
+    ldrb x8, [x7]
+    add x0, x0, x8
+    add x4, x4, #1
+    b count_loop
+""" + _EPILOGUE
+
+
+def functional_sieve(limit: int = 200) -> Tuple[GuestSoftware, int]:
+    """Sieve of Eratosthenes; expected prime count from a Python oracle."""
+    source = _SIEVE.replace("#LIMIT", f"#{limit}")
+    image = assemble(source, base_address=0x1000)
+    flags = [True] * limit
+    for candidate in range(2, limit):
+        if flags[candidate]:
+            for multiple in range(2 * candidate, limit, candidate):
+                flags[multiple] = False
+    expected = sum(1 for index in range(2, limit) if flags[index])
+    software = GuestSoftware(image=image, mode="interpreter",
+                             name=f"sieve-functional-{limit}")
+    return software, expected

@@ -1,0 +1,108 @@
+"""NAS Parallel Benchmarks (Fig. 7, OpenMP workloads).
+
+Multithreaded kernels that spread their work across all simulated cores
+with OpenMP-style fork/join barriers.  The paper's observation (§V-C.3):
+because all cores stay busy, WFI annotation barely matters, and the
+benchmarks with dense synchronization (CG, FT, MG) profit least from
+native execution — each barrier costs a quantum-bounded skew window on
+both platforms, so the AoA advantage only applies to the compute between
+barriers.  FT bottoms out at ≈ 1.8×.
+
+Profiles give per-benchmark iteration counts, barriers per iteration and
+per-core work per barrier segment; ``work_per_segment`` is the per-core
+dynamic instruction count between two barriers for the *single-core* case
+(it shrinks with core count — fixed problem size, strong scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..iss.phase import Compute
+from ..vp.guestlib import barrier
+from ..vp.software import GuestSoftware
+from .base import WorkloadInfo, user_space_software
+
+
+@dataclass(frozen=True)
+class NpbProfile:
+    name: str
+    iterations: int
+    barriers_per_iteration: int
+    work_per_segment: int          # instructions per core per segment (1 core)
+    mem_fraction: float
+    static_blocks: int
+    description: str = ""
+
+    def total_instructions(self, num_cores: int) -> int:
+        segments = self.iterations * self.barriers_per_iteration
+        return segments * (self.work_per_segment // max(1, num_cores)) * num_cores
+
+
+#: Synchronization density calibrated against Fig. 7 (EP compute-bound,
+#: FT/CG/MG communication-bound).
+PROFILES: Dict[str, NpbProfile] = {
+    "ep": NpbProfile("ep", iterations=1, barriers_per_iteration=4,
+                     work_per_segment=1_600_000_000, mem_fraction=0.15,
+                     static_blocks=1_800,
+                     description="embarrassingly parallel random numbers"),
+    "is": NpbProfile("is", iterations=10, barriers_per_iteration=6,
+                     work_per_segment=40_000_000, mem_fraction=0.5,
+                     static_blocks=1_200,
+                     description="integer bucket sort"),
+    "lu": NpbProfile("lu", iterations=50, barriers_per_iteration=8,
+                     work_per_segment=60_000_000, mem_fraction=0.42,
+                     static_blocks=5_200,
+                     description="LU factorization pipeline"),
+    "cg": NpbProfile("cg", iterations=75, barriers_per_iteration=26,
+                     work_per_segment=12_000_000, mem_fraction=0.52,
+                     static_blocks=2_400,
+                     description="conjugate gradient, sparse SpMV"),
+    "mg": NpbProfile("mg", iterations=40, barriers_per_iteration=30,
+                     work_per_segment=16_000_000, mem_fraction=0.48,
+                     static_blocks=3_600,
+                     description="multigrid V-cycles"),
+    "ft": NpbProfile("ft", iterations=20, barriers_per_iteration=90,
+                     work_per_segment=8_000_000, mem_fraction=0.55,
+                     static_blocks=3_000,
+                     description="3D FFT with all-to-all transposes"),
+}
+
+
+def npb_software(benchmark: str, num_cores: int) -> GuestSoftware:
+    profile = PROFILES[benchmark]
+    segments = profile.iterations * profile.barriers_per_iteration
+    per_core = max(1, profile.work_per_segment // num_cores)
+
+    def team_member(core: int):
+        def program(ctx):
+            generation = 0
+            for _ in range(segments):
+                generation += 1
+                yield Compute(per_core, key=f"npb_{benchmark}",
+                              static_blocks=profile.static_blocks,
+                              avg_block_len=14,
+                              mem_fraction=profile.mem_fraction)
+                if num_cores > 1:
+                    yield from barrier(slot=0, generation=generation,
+                                       num_cores=num_cores,
+                                       key=f"npb_{benchmark}_barrier")
+        return program
+
+    def main_program(ctx):
+        yield from team_member(0)(ctx)
+
+    def worker_program(core: int):
+        return team_member(core)
+
+    info = WorkloadInfo(
+        name=f"npb-{benchmark}-{num_cores}c",
+        category="userspace",
+        instructions_per_core=segments * per_core,
+        multithreaded=True,
+        extras={"benchmark": benchmark, "segments": segments,
+                "description": profile.description},
+    )
+    return user_space_software(info.name, num_cores, main_program,
+                               worker_program=worker_program, info=info)

@@ -1,0 +1,89 @@
+"""STREAM memory-bandwidth benchmark (Fig. 7, "STREAM 10K/100K/1M").
+
+Four kernels (Copy, Scale, Add, Triad) over arrays of N doubles, repeated
+NTIMES.  Nearly every instruction touches memory, which is the point of the
+paper's comparison: AVP64's ISS performs a *software* virtual-to-physical
+translation per access, while the AoA model rides the host MMU's two-stage
+hardware translation for free (§V-C.1).
+
+The TLB-miss profile depends on the array size: 10K-element arrays
+(~240 KiB working set) fit the software TLB after the first pass; 100K and
+1M-element arrays stream through more pages than the TLB holds, so every
+fresh page costs a software walk (one miss per 512 accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..iss.phase import Compute
+from ..vp.software import GuestSoftware
+from .base import WorkloadInfo, user_space_software
+
+#: (kernel name, instructions per element, memory ops per element)
+_KERNELS = (
+    ("copy", 4, 2),
+    ("scale", 5, 2),
+    ("add", 6, 3),
+    ("triad", 7, 3),
+)
+
+#: software TLB reach: 512 entries x 4 KiB
+_TLB_REACH_BYTES = 512 * 4096
+
+
+@dataclass
+class StreamParams:
+    array_elements: int = 100_000
+    ntimes: int = 10
+
+    @property
+    def working_set_bytes(self) -> int:
+        return 3 * self.array_elements * 8      # a, b, c arrays of doubles
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        """Misses per memory access for a streaming pass."""
+        if self.working_set_bytes <= _TLB_REACH_BYTES:
+            return 0.0
+        return 8 / 4096          # one new page every 512 sequential accesses
+
+    @property
+    def instructions(self) -> int:
+        per_pass = sum(ipe for _, ipe, _ in _KERNELS) * self.array_elements
+        return per_pass * self.ntimes
+
+
+def stream_software(num_cores: int, params: StreamParams = None) -> GuestSoftware:
+    params = params or StreamParams()
+
+    def main_program(ctx):
+        for _ in range(params.ntimes):
+            for kernel, ipe, mpe in _KERNELS:
+                yield Compute(
+                    ipe * params.array_elements,
+                    key=f"stream_{kernel}",
+                    static_blocks=40,
+                    avg_block_len=16,
+                    mem_fraction=mpe / ipe,
+                    tlb_miss_rate=params.tlb_miss_rate,
+                )
+
+    label = _size_label(params.array_elements)
+    info = WorkloadInfo(
+        name=f"stream-{label}-{num_cores}c",
+        category="userspace",
+        instructions_per_core=params.instructions,
+        multithreaded=False,
+        extras={"array_elements": params.array_elements,
+                "working_set_bytes": params.working_set_bytes},
+    )
+    return user_space_software(info.name, num_cores, main_program, info=info)
+
+
+def _size_label(elements: int) -> str:
+    if elements % 1_000_000 == 0:
+        return f"{elements // 1_000_000}M"
+    if elements % 1_000 == 0:
+        return f"{elements // 1_000}K"
+    return str(elements)

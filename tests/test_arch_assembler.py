@@ -1,0 +1,203 @@
+"""Assembler: labels, directives, expressions, errors."""
+
+import pytest
+
+from repro.arch.assembler import AssemblerError, assemble
+from repro.arch.isa import Cond, Op, decode
+
+
+def words(image):
+    text = image.sections[0]
+    return [int.from_bytes(text.data[i:i + 4], "little")
+            for i in range(0, len(text.data), 4)]
+
+
+class TestBasics:
+    def test_simple_program(self):
+        image = assemble("_start:\n    movz x0, #42\n    hlt #0\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].op is Op.MOVZ and insts[0].imm == 42
+        assert insts[1].op is Op.HLT
+
+    def test_entry_symbol(self):
+        image = assemble(".org 0x100\n_start: nop\n", base_address=0)
+        assert image.entry == 0x100
+
+    def test_comments_stripped(self):
+        image = assemble("nop // trailing\n; full line\nnop\n")
+        assert len(words(image)) == 2
+
+    def test_registers(self):
+        image = assemble("mov x0, sp\nmov x1, lr\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].rn == 31
+        assert insts[1].rn == 30
+
+    def test_xzr_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov x0, xzr\n")
+
+    def test_mov_immediate_becomes_movz(self):
+        image = assemble("mov x2, #99\n")
+        inst = decode(words(image)[0])
+        assert inst.op is Op.MOVZ and inst.imm == 99
+
+    def test_mov_large_immediate_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov x0, #0x10000\n")
+
+    def test_add_immediate_vs_register(self):
+        image = assemble("add x0, x1, #5\nadd x0, x1, x2\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].op is Op.ADDI
+        assert insts[1].op is Op.ADD
+
+    def test_memory_operands(self):
+        image = assemble("ldr x0, [x1]\nstr x2, [sp, #-16]\nldrb x3, [x4, #7]\n")
+        insts = [decode(word) for word in words(image)]
+        assert (insts[0].op, insts[0].imm) == (Op.LDR, 0)
+        assert (insts[1].rn, insts[1].imm) == (31, -16)
+        assert insts[2].imm == 7
+
+    def test_exclusive_pair(self):
+        image = assemble("ldxr x0, [x1]\nstxr x2, x0, [x1]\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].op is Op.LDXR
+        assert insts[1].op is Op.STXR and insts[1].rd == 2 and insts[1].rm == 0
+
+    def test_stxr_offset_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("stxr x2, x0, [x1, #8]\n")
+
+
+class TestBranchesAndLabels:
+    def test_backward_branch(self):
+        image = assemble("loop:\n    nop\n    b loop\n")
+        branch = decode(words(image)[1])
+        assert branch.op is Op.B and branch.imm == -1
+
+    def test_forward_branch(self):
+        image = assemble("    b end\n    nop\nend:\n    nop\n")
+        branch = decode(words(image)[0])
+        assert branch.imm == 2
+
+    def test_conditional_branches(self):
+        image = assemble("top:\n    b.eq top\n    b.ne top\n    b.lt top\n    b.hs top\n")
+        insts = [decode(word) for word in words(image)]
+        assert [inst.cond for inst in insts] == [Cond.EQ, Cond.NE, Cond.LT, Cond.HS]
+
+    def test_cbz_cbnz(self):
+        image = assemble("top:\n    cbz x3, top\n    cbnz x4, top\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].op is Op.CBZ and insts[0].rd == 3
+        assert insts[1].op is Op.CBNZ and insts[1].imm == -1
+
+    def test_bl_and_ret(self):
+        image = assemble("    bl fn\n    hlt #0\nfn:\n    ret\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].op is Op.BL and insts[0].imm == 2
+        assert insts[2].op is Op.RET and insts[2].rn == 30
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nnop\na:\nnop\n")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("b nowhere\n")
+
+    def test_label_on_same_line_as_instruction(self):
+        image = assemble("start: nop\n  b start\n")
+        assert decode(words(image)[1]).imm == -1
+
+
+class TestDirectives:
+    def test_word_and_quad(self):
+        image = assemble(".word 0x11223344\n.quad 0x5566778899AABBCC\n")
+        data = image.sections[0].data
+        assert data[0:4] == (0x11223344).to_bytes(4, "little")
+        assert data[4:12] == (0x5566778899AABBCC).to_bytes(8, "little")
+
+    def test_zero(self):
+        image = assemble(".zero 16\nnop\n")
+        assert len(image.sections[0].data) == 20
+
+    def test_asciz(self):
+        image = assemble('.asciz "hi"\n')
+        assert image.sections[0].data == b"hi\x00"
+
+    def test_asciz_with_escape_and_comma(self):
+        image = assemble('.asciz "a,b\\n"\n')
+        assert image.sections[0].data == b"a,b\n\x00"
+
+    def test_align(self):
+        image = assemble("nop\n.align 16\nmarker: nop\n")
+        assert image.find_symbol("marker") == 16
+
+    def test_org(self):
+        image = assemble("nop\n.org 0x40\nthere: nop\n")
+        assert image.find_symbol("there") == 0x40
+        assert len(image.sections[0].data) == 0x44
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".org 0x40\nnop\n.org 0x10\n")
+
+    def test_equ_constants(self):
+        image = assemble(".equ BASE, 0x1000\n.equ OFF, 8\nmovz x0, #OFF\n.word BASE+OFF\n")
+        inst = decode(words(image)[0])
+        assert inst.imm == 8
+        assert words(image)[1] == 0x1008
+
+    def test_expression_arithmetic(self):
+        image = assemble(".equ A, 10\n.word A + 5 - 3\n")
+        assert words(image)[0] == 12
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 1\n")
+
+    def test_global_is_accepted(self):
+        image = assemble(".global _start\n_start: nop\n")
+        assert image.find_symbol("_start") == 0
+
+
+class TestSysRegsAndMisc:
+    def test_mrs_msr(self):
+        image = assemble("mrs x0, VBAR_EL1\nmsr TTBR0_EL1, x1\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].op is Op.MRS
+        assert insts[1].op is Op.MSR
+
+    def test_sysreg_case_insensitive(self):
+        image = assemble("mrs x0, vbar_el1\n")
+        assert decode(words(image)[0]).op is Op.MRS
+
+    def test_unknown_sysreg(self):
+        with pytest.raises(AssemblerError):
+            assemble("mrs x0, NOT_A_REG\n")
+
+    def test_daif_set_clear(self):
+        image = assemble("msr daifset, #2\nmsr daifclr, #2\n")
+        insts = [decode(word) for word in words(image)]
+        assert insts[0].op is Op.MSRI and insts[0].rm == 1
+        assert insts[1].op is Op.MSRI and insts[1].rm == 0
+
+    def test_adr(self):
+        image = assemble("adr x0, data\ndata: .word 1\n")
+        inst = decode(words(image)[0])
+        assert inst.op is Op.ADR and inst.imm == 4
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nbogus x0\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble("add x0, x1\n")
+
+    def test_base_address_offsets_symbols(self):
+        image = assemble("_start: nop\nhere: nop\n", base_address=0x8000)
+        assert image.find_symbol("here") == 0x8004
+        assert image.sections[0].address == 0x8000

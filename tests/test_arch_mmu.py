@@ -1,0 +1,203 @@
+"""Stage-1 MMU: page-table walks, permissions, TLB, builder."""
+
+import pytest
+
+from repro.arch.exceptions import ExceptionClass, GuestFault
+from repro.arch.isa import SysReg
+from repro.arch.mmu import PAGE_SIZE, Mmu, PageTableBuilder, Tlb
+from repro.arch.registers import CpuState
+
+RAM_SIZE = 8 * 1024 * 1024
+TABLE_BASE = 0x0010_0000
+
+
+def make_mmu(el=1):
+    memory = bytearray(RAM_SIZE)
+    state = CpuState()
+    state.el = el
+    builder = PageTableBuilder(memory, TABLE_BASE)
+    state.write_sysreg(SysReg.TTBR0_EL1, builder.root)
+
+    def read_phys(addr, size):
+        return bytes(memory[addr:addr + size])
+
+    mmu = Mmu(state, read_phys)
+    return mmu, builder, state, memory
+
+
+def enable(state):
+    state.write_sysreg(SysReg.SCTLR_EL1, 1)
+
+
+class TestDisabled:
+    def test_identity_when_disabled(self):
+        mmu, _, _, _ = make_mmu()
+        assert not mmu.enabled
+        assert mmu.translate(0xDEAD_BEEF) == 0xDEAD_BEEF
+
+
+class TestBasicMapping:
+    def test_page_mapping(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x4000, 0x9000)
+        enable(state)
+        assert mmu.translate(0x4000) == 0x9000
+        assert mmu.translate(0x4ABC) == 0x9ABC
+
+    def test_identity_map_range(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.identity_map(0, 64 * 1024)
+        enable(state)
+        assert mmu.translate(0x0FFF) == 0x0FFF
+        assert mmu.translate(0xFFFF) == 0xFFFF
+
+    def test_unmapped_va_faults(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x4000, 0x9000)
+        enable(state)
+        with pytest.raises(GuestFault) as excinfo:
+            mmu.translate(0x8000)
+        assert excinfo.value.ec is ExceptionClass.DATA_ABORT
+        assert excinfo.value.fault_address == 0x8000
+
+    def test_fetch_fault_class(self):
+        mmu, builder, state, _ = make_mmu()
+        enable(state)
+        with pytest.raises(GuestFault) as excinfo:
+            mmu.translate(0x8000, fetch=True)
+        assert excinfo.value.ec is ExceptionClass.INSTRUCTION_ABORT
+
+    def test_va_beyond_39_bits_faults(self):
+        mmu, builder, state, _ = make_mmu()
+        enable(state)
+        with pytest.raises(GuestFault):
+            mmu.translate(1 << 39)
+
+    def test_cross_level_mappings_independent(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x0000_0000, 0x1000)
+        builder.map_page(0x4000_0000, 0x2000)   # different L1 entry
+        enable(state)
+        assert mmu.translate(0x0000_0000) == 0x1000
+        assert mmu.translate(0x4000_0000) == 0x2000
+
+
+class TestPermissions:
+    def test_read_only_blocks_writes(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x4000, 0x9000, writable=False)
+        enable(state)
+        assert mmu.translate(0x4000, write=False) == 0x9000
+        with pytest.raises(GuestFault):
+            mmu.translate(0x4000, write=True)
+
+    def test_el0_requires_el0_flag(self):
+        mmu, builder, state, _ = make_mmu(el=0)
+        builder.map_page(0x4000, 0x9000, el0=False)
+        builder.map_page(0x5000, 0xA000, el0=True)
+        enable(state)
+        with pytest.raises(GuestFault):
+            mmu.translate(0x4000)
+        assert mmu.translate(0x5000) == 0xA000
+
+    def test_permission_checked_on_tlb_hit(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x4000, 0x9000, writable=False)
+        enable(state)
+        mmu.translate(0x4000)              # populate TLB
+        with pytest.raises(GuestFault):
+            mmu.translate(0x4000, write=True)
+
+
+class TestTlb:
+    def test_hit_miss_counting(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x4000, 0x9000)
+        enable(state)
+        mmu.translate(0x4000)
+        mmu.translate(0x4008)
+        mmu.translate(0x4010)
+        assert mmu.tlb.misses == 1
+        assert mmu.tlb.hits == 2
+        assert mmu.walks == 1
+
+    def test_flush_forces_rewalk(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x4000, 0x9000)
+        enable(state)
+        mmu.translate(0x4000)
+        mmu.flush_tlb()
+        mmu.translate(0x4000)
+        assert mmu.walks == 2
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(capacity=2)
+        tlb.insert(1, 1, 100, 0)
+        tlb.insert(2, 1, 200, 0)
+        tlb.insert(3, 1, 300, 0)
+        assert len(tlb) == 2
+
+    def test_el_tagged_entries(self):
+        tlb = Tlb()
+        tlb.insert(5, 0, 50, 0)
+        assert tlb.lookup(5, 1) is None
+        assert tlb.lookup(5, 0) == (50, 0)
+
+
+class TestBlockMappings:
+    def _install_block(self, builder, memory, va, pa, level_shift):
+        """Hand-craft a block descriptor at L1 (30) or L2 (21)."""
+        from repro.arch.mmu import DESC_VALID, _INDEX_MASK, _LEVEL_SHIFTS
+        table = builder.root
+        for shift in _LEVEL_SHIFTS:
+            index = (va >> shift) & _INDEX_MASK
+            offset = table - builder.phys_base + index * 8
+            if shift == level_shift:
+                descriptor = pa | DESC_VALID     # block: TABLE bit clear
+                memory[offset:offset + 8] = descriptor.to_bytes(8, "little")
+                return
+            current = int.from_bytes(memory[offset:offset + 8], "little")
+            if not current & DESC_VALID:
+                new_table = builder._alloc_table()
+                entry = new_table | DESC_VALID | 0x2
+                memory[offset:offset + 8] = entry.to_bytes(8, "little")
+                table = new_table
+            else:
+                table = current & ~0xFFF & ((1 << 48) - 1)
+
+    def test_2mb_block_mapping(self):
+        mmu, builder, state, memory = make_mmu()
+        self._install_block(builder, memory, 0x0020_0000, 0x0040_0000, 21)
+        enable(state)
+        assert mmu.translate(0x0020_0000) == 0x0040_0000
+        assert mmu.translate(0x0020_5678) == 0x0040_5678
+        # A different 4K page inside the same 2M block resolves via its own
+        # TLB entry.
+        assert mmu.translate(0x003F_F000) == 0x005F_F000
+
+
+class TestBuilder:
+    def test_unaligned_addresses_rejected(self):
+        _, builder, _, _ = make_mmu()
+        with pytest.raises(ValueError):
+            builder.map_page(0x4001, 0x9000)
+        with pytest.raises(ValueError):
+            builder.map_page(0x4000, 0x9005)
+
+    def test_map_range_size_positive(self):
+        _, builder, _, _ = make_mmu()
+        with pytest.raises(ValueError):
+            builder.map_range(0, 0, 0)
+
+    def test_remap_page_updates_leaf(self):
+        mmu, builder, state, _ = make_mmu()
+        builder.map_page(0x4000, 0x9000)
+        builder.map_page(0x4000, 0xA000)
+        enable(state)
+        assert mmu.translate(0x4000) == 0xA000
+
+    def test_table_pool_bounds_checked(self):
+        memory = bytearray(PAGE_SIZE)   # room for exactly one table
+        builder = PageTableBuilder(memory, 0)
+        with pytest.raises(ValueError):
+            builder.map_page(0, 0)      # needs 2 more tables

@@ -1,0 +1,173 @@
+"""CPU state, PSTATE, system registers, exceptions, exclusive monitor."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.exceptions import (
+    VECTOR_IRQ_EL0,
+    VECTOR_IRQ_EL1,
+    VECTOR_SYNC_EL0,
+    VECTOR_SYNC_EL1,
+    ExceptionClass,
+    GuestFault,
+    do_eret,
+    esr_class,
+    make_esr,
+    take_irq,
+    take_sync_exception,
+)
+from repro.arch.isa import SysReg
+from repro.arch.registers import MASK64, CpuState
+
+
+class TestRegisters:
+    def test_reset_state(self):
+        state = CpuState(core_id=3)
+        assert state.el == 1
+        assert state.irqs_masked
+        assert state.read_sysreg(SysReg.MPIDR_EL1) == 3
+        assert state.instret == 0
+
+    def test_write_reg_masks_to_64_bits(self):
+        state = CpuState()
+        state.write_reg(0, 1 << 70)
+        assert state.regs[0] == (1 << 70) & MASK64
+
+    def test_sp_alias(self):
+        state = CpuState()
+        state.sp = 0x8000
+        assert state.regs[31] == 0x8000
+        assert state.sp == 0x8000
+
+    def test_pstate_roundtrip(self):
+        state = CpuState()
+        state.set_nzcv(True, False, True, False)
+        state.el = 0
+        state.daif = 0x3
+        packed = state.pstate_value()
+        other = CpuState()
+        other.restore_pstate(packed)
+        assert (other.flag_n, other.flag_z, other.flag_c, other.flag_v) == \
+            (True, False, True, False)
+        assert other.el == 0
+        assert other.daif == 0x3
+
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+           st.integers(0, 1), st.integers(0, 0xF))
+    def test_pstate_roundtrip_property(self, n, z, c, v, el, daif):
+        state = CpuState()
+        state.set_nzcv(n, z, c, v)
+        state.el = el
+        state.daif = daif
+        other = CpuState()
+        other.restore_pstate(state.pstate_value())
+        assert other.pstate_value() == state.pstate_value()
+
+    def test_irq_mask_helpers(self):
+        state = CpuState()
+        state.unmask_irqs()
+        assert not state.irqs_masked
+        state.mask_irqs()
+        assert state.irqs_masked
+
+    def test_current_el_read_only(self):
+        state = CpuState()
+        assert state.read_sysreg(SysReg.CURRENT_EL) == 1 << 2
+        with pytest.raises(PermissionError):
+            state.write_sysreg(SysReg.CURRENT_EL, 0)
+
+    def test_daif_sysreg_view(self):
+        state = CpuState()
+        state.write_sysreg(SysReg.DAIF, 0x3C0)
+        assert state.daif == 0xF
+        assert state.read_sysreg(SysReg.DAIF) == 0x3C0
+
+    def test_snapshot_restore(self):
+        state = CpuState()
+        state.write_reg(5, 0x1234)
+        state.pc = 0x4000
+        state.write_sysreg(SysReg.TPIDR_EL1, 99)
+        snap = state.snapshot()
+        other = CpuState()
+        other.restore(snap)
+        assert other.regs[5] == 0x1234
+        assert other.pc == 0x4000
+        assert other.read_sysreg(SysReg.TPIDR_EL1) == 99
+
+
+class TestExclusiveMonitor:
+    def test_mark_check_clear(self):
+        state = CpuState()
+        state.set_exclusive(0x100)
+        assert state.check_exclusive(0x100)
+        assert not state.check_exclusive(0x108)
+        state.clear_exclusive()
+        assert not state.check_exclusive(0x100)
+
+
+class TestExceptions:
+    def _prepared_state(self, el):
+        state = CpuState()
+        state.el = el
+        state.unmask_irqs()
+        state.write_sysreg(SysReg.VBAR_EL1, 0x8000)
+        return state
+
+    def test_sync_from_el1(self):
+        state = self._prepared_state(1)
+        take_sync_exception(state, ExceptionClass.SVC, iss=7, return_pc=0x1004)
+        assert state.pc == 0x8000 + VECTOR_SYNC_EL1
+        assert state.el == 1
+        assert state.irqs_masked
+        assert state.read_sysreg(SysReg.ELR_EL1) == 0x1004
+        assert esr_class(state.read_sysreg(SysReg.ESR_EL1)) is ExceptionClass.SVC
+
+    def test_sync_from_el0_uses_el0_vector(self):
+        state = self._prepared_state(0)
+        take_sync_exception(state, ExceptionClass.DATA_ABORT, fault_address=0xBAD,
+                            return_pc=0x2000)
+        assert state.pc == 0x8000 + VECTOR_SYNC_EL0
+        assert state.el == 1
+        assert state.read_sysreg(SysReg.FAR_EL1) == 0xBAD
+
+    def test_irq_vectors(self):
+        state = self._prepared_state(1)
+        take_irq(state, return_pc=0x1000)
+        assert state.pc == 0x8000 + VECTOR_IRQ_EL1
+        state = self._prepared_state(0)
+        take_irq(state, return_pc=0x1000)
+        assert state.pc == 0x8000 + VECTOR_IRQ_EL0
+
+    def test_eret_restores_context(self):
+        state = self._prepared_state(0)
+        state.set_nzcv(True, True, False, False)
+        take_sync_exception(state, ExceptionClass.SVC, return_pc=0x3000)
+        assert state.el == 1
+        do_eret(state)
+        assert state.el == 0
+        assert state.pc == 0x3000
+        assert not state.irqs_masked
+        assert state.flag_n and state.flag_z
+
+    def test_eret_at_el0_faults(self):
+        state = CpuState()
+        state.el = 0
+        with pytest.raises(GuestFault):
+            do_eret(state)
+
+    def test_exception_clears_exclusive(self):
+        state = self._prepared_state(1)
+        state.set_exclusive(0x40)
+        take_irq(state, return_pc=0)
+        assert not state.exclusive_valid
+
+    def test_make_esr_encoding(self):
+        esr = make_esr(ExceptionClass.BRK, 0x42)
+        assert esr_class(esr) is ExceptionClass.BRK
+        assert esr & 0xFFFF == 0x42
+
+    def test_guest_fault_message(self):
+        fault = GuestFault(ExceptionClass.DATA_ABORT, iss=5, fault_address=0x123)
+        assert "DATA_ABORT" in str(fault)
+        assert fault.fault_address == 0x123

@@ -1,0 +1,172 @@
+"""The VP debugger: breakpoints, stepping, inspection."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.debug import Debugger, StopReason
+from repro.systemc.time import SimTime
+from repro.vp import GuestSoftware, VpConfig, build_platform
+
+PROGRAM = """
+.equ UART_HI, 0x0904
+.equ SIMCTL_HI, 0x090F
+_start:
+    movz x0, #5
+    bl square
+    movz x9, #0x4000
+    str x0, [x9]            // store the result
+    movz x1, #UART_HI, lsl #16
+    movz x2, #0x21
+    strb x2, [x1]
+after_print:
+    movz x3, #SIMCTL_HI, lsl #16
+    str x3, [x3]
+    hlt #0
+
+square:
+    mul x0, x0, x0
+    ret
+"""
+
+
+def make_debugger(kind="aoa"):
+    image = assemble(PROGRAM, base_address=0x1000)
+    software = GuestSoftware(image=image, mode="interpreter")
+    vp = build_platform(kind, VpConfig(num_cores=1, quantum=SimTime.us(100)), software)
+    return vp, Debugger(vp)
+
+
+BOTH = pytest.mark.parametrize("kind", ["aoa", "avp64"])
+
+
+class TestBreakpoints:
+    @BOTH
+    def test_break_at_symbol(self, kind):
+        vp, debugger = make_debugger(kind)
+        address = debugger.add_breakpoint("square")
+        stop = debugger.continue_(SimTime.ms(10))
+        assert stop.reason is StopReason.BREAKPOINT
+        assert stop.pc == address
+        assert stop.symbol == "square"
+        # The guest has not yet stored the result.
+        assert debugger.read_memory(0x4000, 8) == bytes(8)
+
+    @BOTH
+    def test_continue_to_completion(self, kind):
+        vp, debugger = make_debugger(kind)
+        debugger.add_breakpoint("square")
+        debugger.continue_(SimTime.ms(10))
+        stop = debugger.continue_(SimTime.ms(50))
+        assert stop.reason is StopReason.SHUTDOWN
+        assert vp.console_output() == "!"
+
+    def test_multiple_breakpoints_in_order(self):
+        vp, debugger = make_debugger()
+        debugger.add_breakpoint("square")
+        debugger.add_breakpoint("after_print")
+        first = debugger.continue_(SimTime.ms(10))
+        assert first.symbol == "square"
+        second = debugger.continue_(SimTime.ms(10))
+        assert second.symbol == "after_print"
+        # By now the UART write has happened.
+        assert vp.console_output() == "!"
+
+    def test_remove_breakpoint(self):
+        vp, debugger = make_debugger()
+        debugger.add_breakpoint("square")
+        debugger.remove_breakpoint("square")
+        stop = debugger.continue_(SimTime.ms(50))
+        assert stop.reason is StopReason.SHUTDOWN
+
+    def test_resolve_by_address(self):
+        vp, debugger = make_debugger()
+        address = debugger.image.require_symbol("square")
+        assert debugger.add_breakpoint(address) == address
+
+
+class TestStepping:
+    def test_single_step_advances_one_instruction(self):
+        vp, debugger = make_debugger()
+        debugger.add_breakpoint("square")
+        debugger.continue_(SimTime.ms(10))
+        pc_before = debugger.state.pc
+        stop = debugger.step()
+        assert stop.reason is StopReason.STEPPED
+        assert stop.pc == pc_before + 4
+        # mul already executed: x0 = 25
+        assert debugger.read_register("x0") == 25
+
+    def test_step_through_mmio(self):
+        vp, debugger = make_debugger()
+        debugger.add_breakpoint("after_print")
+        # step everything from reset: MMIO instructions work under stepping
+        stop = debugger.step(50)
+        assert vp.console_output() == "!"
+
+    def test_step_count(self):
+        vp, debugger = make_debugger()
+        before = debugger.state.instret
+        debugger.step(3)
+        assert debugger.state.instret == before + 3
+
+
+class TestInspection:
+    def test_registers_snapshot(self):
+        vp, debugger = make_debugger()
+        debugger.step(1)     # movz x0, #5
+        regs = debugger.registers()
+        assert regs["x0"] == 5
+        assert "pc" in regs and "sp" in regs and "nzcv" in regs
+
+    def test_write_register(self):
+        vp, debugger = make_debugger()
+        debugger.write_register("x7", 0xDEAD)
+        assert debugger.read_register("x7") == 0xDEAD
+        debugger.write_register("pc", 0x2000)
+        assert debugger.state.pc == 0x2000
+        with pytest.raises(KeyError):
+            debugger.write_register("q0", 1)
+
+    def test_read_sysreg(self):
+        vp, debugger = make_debugger()
+        assert debugger.read_sysreg("MPIDR_EL1") == 0
+
+    def test_memory_access_via_debug_transport(self):
+        vp, debugger = make_debugger()
+        debugger.write_memory(0x5000, b"\x01\x02\x03")
+        assert debugger.read_memory(0x5000, 3) == b"\x01\x02\x03"
+        assert vp.ram.data[0x5000:0x5003] == b"\x01\x02\x03"
+
+    def test_debug_reads_have_no_side_effects(self):
+        vp, debugger = make_debugger()
+        vp.uart.inject_rx(b"x")
+        # A debug read of the UART DR must not pop the FIFO.
+        debugger.read_memory(0x0904_0000, 4)
+        assert len(vp.uart._rx_fifo) == 1
+
+    def test_disassemble_marks_pc(self):
+        vp, debugger = make_debugger()
+        lines = debugger.disassemble(count=3)
+        assert lines[0].startswith("=>")
+        assert "movz x0, #0x5" in lines[0]
+
+    def test_disassemble_at_symbol(self):
+        vp, debugger = make_debugger()
+        lines = debugger.disassemble("square", count=2)
+        assert "mul x0, x0, x0" in lines[0]
+        assert "ret" in lines[1]
+
+    def test_where_and_backtrace_hint(self):
+        vp, debugger = make_debugger()
+        debugger.add_breakpoint("square")
+        debugger.continue_(SimTime.ms(10))
+        assert "square" in debugger.where()
+        hints = debugger.backtrace_hint()
+        assert any("_start" in hint for hint in hints)
+
+    def test_phase_mode_guest_rejected(self):
+        from repro.vp.linux import linux_boot_software
+        software = linux_boot_software(1)
+        vp = build_platform("aoa", VpConfig(num_cores=1), software)
+        with pytest.raises(TypeError):
+            Debugger(vp)

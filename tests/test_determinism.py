@@ -1,0 +1,85 @@
+"""Cross-cutting determinism and equivalence invariants.
+
+The whole performance model only makes sense if runs are bit-for-bit
+reproducible and if the modeling knobs (parallel mode, annotations,
+tracing) change *performance accounting* without changing *functional*
+results — these tests pin those system-level invariants down.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.measure import make_config, run_workload
+from repro.systemc.kernel import Kernel
+from repro.systemc.time import SimTime
+from repro.workloads.dhrystone import DhrystoneParams, dhrystone_software
+from repro.workloads.npb import npb_software
+
+
+class TestRunDeterminism:
+    def _metrics(self, kind, cores=2, parallel=True, annotations=False):
+        software = dhrystone_software(cores, DhrystoneParams(iterations=50_000))
+        config = make_config(cores, 1000.0, parallel, wfi_annotations=annotations)
+        return run_workload(kind, config, software)
+
+    @pytest.mark.parametrize("kind", ["aoa", "avp64"])
+    def test_identical_runs_identical_results(self, kind):
+        first = self._metrics(kind)
+        second = self._metrics(kind)
+        assert first.wall_seconds == second.wall_seconds
+        assert first.sim_seconds == second.sim_seconds
+        assert first.instructions == second.instructions
+        assert first.counters == second.counters
+
+    def test_parallel_mode_changes_wall_not_function(self):
+        sequential = self._metrics("aoa", cores=4, parallel=False)
+        parallel = self._metrics("aoa", cores=4, parallel=True)
+        assert sequential.instructions == parallel.instructions
+        assert sequential.sim_seconds == parallel.sim_seconds
+        assert parallel.wall_seconds < sequential.wall_seconds
+
+    def test_npb_barrier_workload_deterministic(self):
+        software = npb_software("is", 4)
+        config = make_config(4, 1000.0, True, wfi_annotations=True)
+        first = run_workload("aoa", config, software, max_sim_seconds=500.0)
+        second = run_workload("aoa", config, software, max_sim_seconds=500.0)
+        assert first.wall_seconds == second.wall_seconds
+        assert first.instructions == second.instructions
+
+
+class TestKernelDeterminismProperty:
+    @given(st.lists(st.tuples(st.integers(1, 1000), st.integers(1, 50)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_process_interleavings_are_reproducible(self, specs):
+        """N processes with arbitrary period/step counts always interleave
+        the same way across two kernel instances."""
+
+        def run_once():
+            kernel = Kernel()
+            log = []
+            for index, (period_ns, steps) in enumerate(specs):
+                def body(index=index, period_ns=period_ns, steps=steps):
+                    for step in range(steps):
+                        yield SimTime.ns(period_ns)
+                        log.append((index, step, kernel.now.picoseconds))
+                kernel.spawn(body, f"p{index}")
+            kernel.run()
+            return log
+
+        assert run_once() == run_once()
+
+    @given(st.lists(st.integers(1, 10**6), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_timed_events_fire_in_time_order(self, delays_ns):
+        kernel = Kernel()
+        fired = []
+        for delay in delays_ns:
+            kernel.schedule_callback(
+                SimTime.ns(delay),
+                lambda d=delay: fired.append((kernel.now.picoseconds, d)))
+        kernel.run()
+        times = [time for time, _ in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(delays_ns)

@@ -1,0 +1,107 @@
+"""Disassembler: formatting + assemble/disassemble round trips."""
+
+from hypothesis import given
+
+from repro.arch.assembler import assemble
+from repro.arch.disasm import disassemble_range, disassemble_word, format_instruction
+from repro.arch.isa import Cond, Instruction, Op, decode, encode
+
+from tests.test_arch_isa import _instruction_strategy
+
+
+class TestFormatting:
+    def test_plain(self):
+        assert format_instruction(Instruction(Op.NOP)) == "nop"
+        assert format_instruction(Instruction(Op.WFI)) == "wfi"
+        assert format_instruction(Instruction(Op.ERET)) == "eret"
+
+    def test_movz_with_shift(self):
+        inst = Instruction(Op.MOVZ, rd=1, rm=2, imm=0xBEEF)
+        assert format_instruction(inst) == "movz x1, #0xbeef, lsl #32"
+
+    def test_reg3(self):
+        assert format_instruction(Instruction(Op.ADD, rd=1, rn=2, rm=3)) == \
+            "add x1, x2, x3"
+
+    def test_sp_naming(self):
+        inst = Instruction(Op.LDR, rd=0, rn=31, imm=-16)
+        assert format_instruction(inst) == "ldr x0, [sp, #-16]"
+
+    def test_memory_zero_offset_omitted(self):
+        assert format_instruction(Instruction(Op.STR, rd=2, rn=3)) == "str x2, [x3]"
+
+    def test_branch_with_pc(self):
+        inst = Instruction(Op.B, imm=-2)
+        assert format_instruction(inst, pc=0x1008) == "b 0x1000"
+
+    def test_branch_without_pc_is_relative(self):
+        assert format_instruction(Instruction(Op.B, imm=3)) == "b .+12"
+
+    def test_bcond(self):
+        inst = Instruction(Op.BCOND, cond=Cond.NE, imm=1)
+        assert format_instruction(inst, pc=0x100) == "b.ne 0x104"
+
+    def test_ret_default_register_implicit(self):
+        assert format_instruction(Instruction(Op.RET, rn=30)) == "ret"
+        assert format_instruction(Instruction(Op.RET, rn=5)) == "ret x5"
+
+    def test_sysregs_by_name(self):
+        inst = Instruction(Op.MRS, rd=0, imm=0x000)
+        assert format_instruction(inst) == "mrs x0, VBAR_EL1"
+        unknown = Instruction(Op.MSR, rn=1, imm=0x9999)
+        assert "0x9999" in format_instruction(unknown)
+
+    def test_msri(self):
+        assert format_instruction(Instruction(Op.MSRI, rm=1, imm=2)) == "msr daifset, #2"
+        assert format_instruction(Instruction(Op.MSRI, rm=0, imm=2)) == "msr daifclr, #2"
+
+    def test_stxr_order(self):
+        inst = Instruction(Op.STXR, rd=1, rn=2, rm=3)
+        assert format_instruction(inst) == "stxr x1, x3, [x2]"
+
+    def test_undecodable_word(self):
+        assert disassemble_word(0x3F << 26) == f".word 0x{0x3F << 26:08x}"
+
+
+class TestRange:
+    def test_disassemble_range_with_symbols(self):
+        image = assemble("""
+_start:
+    movz x0, #1
+fn:
+    nop
+    ret
+""")
+        words = {address: image.read_word(address) for address in range(0, 12, 4)}
+
+        def symbol_at(address):
+            for symbol in image.symbols:
+                if symbol.address == address:
+                    return symbol.name
+            return None
+
+        lines = list(disassemble_range(words.get, 0, 4, symbol_at=symbol_at))
+        assert lines[0][2].startswith("movz x0, #0x1")
+        assert "fn" in lines[1][2]
+        assert lines[3] == (12, None, "<unmapped>")
+
+
+class TestRoundTrip:
+    @given(_instruction_strategy())
+    def test_disassembly_reassembles_to_same_word(self, inst):
+        """asm(disasm(x)) == x for the whole instruction space."""
+        if inst.op in (Op.B, Op.BL, Op.BCOND, Op.CBZ, Op.CBNZ, Op.ADR):
+            # PC-relative text needs a pc anchor; test those separately.
+            return
+        text = format_instruction(inst)
+        image = assemble(text + "\n")
+        assert image.read_word(0) == encode(inst)
+
+    @given(_instruction_strategy())
+    def test_pc_relative_roundtrip(self, inst):
+        if inst.op not in (Op.B, Op.BL, Op.BCOND, Op.CBZ, Op.CBNZ):
+            return
+        pc = 0x40_000_000     # large anchor so targets stay non-negative
+        text = format_instruction(inst, pc=pc)
+        image = assemble(text + "\n", base_address=pc)
+        assert decode(image.read_word(pc)) == inst

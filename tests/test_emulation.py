@@ -1,0 +1,153 @@
+"""Instruction emulation (§VI future work): host-unsupported instructions
+trap out of KVM and are emulated in user space."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.arch.isa import Op
+from repro.iss.executor import ExitReason
+from repro.kvm.api import KvmExitReason
+from repro.systemc.time import SimTime
+from repro.vp import GuestSoftware, VpConfig, build_platform
+
+PROGRAM = """
+_start:
+    movz x1, #6
+    movz x2, #7
+    mul x3, x1, x2          // pretend MUL is a "new" instruction
+    movz x4, #0x4000
+    str x3, [x4]
+    movz x5, #0x090F, lsl #16
+    str x5, [x5]
+    hlt #0
+"""
+
+
+class TestInterpreterLevel:
+    def test_unsupported_op_raises_emulation_exit(self, guest):
+        harness = guest(PROGRAM)
+        harness.interp.unsupported_ops = {Op.MUL}
+        info = harness.run(100)
+        assert info.reason is ExitReason.EMULATION
+        # The instruction has NOT retired.
+        assert harness.reg(3) == 0
+
+    def test_emulate_one_performs_the_instruction(self, guest):
+        harness = guest(PROGRAM)
+        harness.interp.unsupported_ops = {Op.MUL}
+        harness.run(100)
+        info = harness.interp.emulate_one()
+        assert info.instructions == 1
+        assert harness.reg(3) == 42
+        # Execution continues normally afterwards.
+        info = harness.run(100)
+        assert info.reason is ExitReason.MMIO   # the str to 0x4000? no: RAM
+        # (0x4000 is RAM, so actually the next exit is the simctl MMIO)
+
+    def test_emulate_one_handles_mmio_instruction(self, guest):
+        harness = guest("""
+_start:
+    movz x1, #0x0904, lsl #16
+    strb x1, [x1]
+    hlt #0
+""")
+        harness.interp.unsupported_ops = {Op.STRB}
+        info = harness.run(100)
+        assert info.reason is ExitReason.EMULATION
+        info = harness.interp.emulate_one()
+        assert info.reason is ExitReason.MMIO
+        harness.interp.complete_mmio(None)
+        assert harness.run(10).reason is ExitReason.HALT
+
+    def test_supported_ops_unaffected(self, guest):
+        harness = guest(PROGRAM)
+        harness.interp.unsupported_ops = {Op.UDIV}   # program has none
+        info = harness.run(1000)
+        assert info.reason is ExitReason.MMIO        # reaches simctl write
+
+
+class TestVcpuLevel:
+    def _vcpu(self, unsupported):
+        from repro.arch.registers import CpuState
+        from repro.iss.executor import GuestMemoryMap
+        from repro.iss.interpreter import Interpreter
+        from repro.kvm.api import Kvm
+
+        image = assemble(PROGRAM, base_address=0)
+        kvm = Kvm()
+        vm = kvm.create_vm()
+        vm.set_user_memory_region(0, 0, memoryview(bytearray(0x10000)))
+        image.load_into(vm.memory.write)
+        state = CpuState()
+        state.pc = image.entry
+        executor = Interpreter(state, vm.memory, vm.monitor)
+        vcpu = vm.create_vcpu(0, executor)
+        vcpu.set_unsupported_instructions(unsupported)
+        return vcpu
+
+    def test_emulation_exit_reason(self):
+        vcpu = self._vcpu({Op.MUL})
+        exit_info = vcpu.run(1_000_000.0)
+        assert exit_info.reason is KvmExitReason.EMULATION
+        assert vcpu.num_emulation_exits == 1
+
+    def test_emulation_cost_charged(self):
+        vcpu = self._vcpu({Op.MUL})
+        exit_info = vcpu.run(1_000_000.0)
+        assert exit_info.wall_ns >= vcpu.costs.emulation_exit_ns
+
+    def test_emulate_and_resume(self):
+        vcpu = self._vcpu({Op.MUL})
+        vcpu.run(1_000_000.0)
+        vcpu.emulate_instruction()
+        assert vcpu.executor.state.regs[3] == 42
+        exit_info = vcpu.run(1_000_000.0)
+        assert exit_info.reason is KvmExitReason.MMIO   # simctl shutdown write
+
+    def test_phase_executor_rejects_emulation(self):
+        from repro.iss.executor import GuestMemoryMap
+        from repro.iss.phase import PhaseContext, PhaseExecutor
+        from repro.kvm.api import Kvm
+
+        memory = GuestMemoryMap()
+        memory.add_slot(0, memoryview(bytearray(4096)))
+
+        def program(ctx):
+            return
+            yield  # pragma: no cover
+
+        kvm = Kvm()
+        vm = kvm.create_vm()
+        vcpu = vm.create_vcpu(0, PhaseExecutor(program, PhaseContext(0, memory)))
+        with pytest.raises(RuntimeError):
+            vcpu.set_unsupported_instructions({Op.MUL})
+
+
+class TestPlatformLevel:
+    def _run(self, unsupported):
+        image = assemble(PROGRAM, base_address=0x1000)
+        software = GuestSoftware(image=image, mode="interpreter")
+        vp = build_platform("aoa", VpConfig(num_cores=1), software)
+        if unsupported:
+            vp.cpus[0].vcpu.set_unsupported_instructions(unsupported)
+        vp.run(SimTime.ms(50))
+        return vp
+
+    def test_transparent_emulation_end_to_end(self):
+        vp = self._run({Op.MUL})
+        assert vp.simctl.shutdown_requested
+        assert vp.ram.data[0x4000] == 42
+        assert vp.cpus[0].num_emulations == 1
+
+    def test_result_identical_to_native_run(self):
+        emulated = self._run({Op.MUL, Op.MOVZ})
+        native = self._run(set())
+        assert bytes(emulated.ram.data[0x4000:0x4008]) == \
+            bytes(native.ram.data[0x4000:0x4008])
+        assert emulated.total_instructions() == native.total_instructions()
+
+    def test_emulation_costs_wall_time(self):
+        emulated = self._run({Op.MOVZ})    # 4 emulated instructions
+        native = self._run(set())
+        assert emulated.cpus[0].num_emulations == 4
+        assert emulated.wall_time_seconds() > native.wall_time_seconds()

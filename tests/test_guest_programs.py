@@ -1,0 +1,94 @@
+"""Functional guest benchmarks: real code, oracle-checked, both platforms."""
+
+import pytest
+
+from repro.systemc.time import SimTime
+from repro.vp import VpConfig, build_platform
+from repro.workloads.guest_programs import (
+    RESULT_ADDRESS,
+    functional_dhrystone,
+    functional_memtest,
+    functional_sieve,
+)
+
+BOTH = pytest.mark.parametrize("kind", ["aoa", "avp64"])
+
+
+def run(kind, software, max_ms=2000, quantum_us=100):
+    config = VpConfig(num_cores=1, quantum=SimTime.us(quantum_us), parallel=False)
+    vp = build_platform(kind, config, software)
+    vp.run(SimTime.ms(max_ms))
+    assert vp.simctl.shutdown_requested, "guest did not finish"
+    return vp
+
+
+def result(vp) -> int:
+    return int.from_bytes(vp.ram.data[RESULT_ADDRESS:RESULT_ADDRESS + 8], "little")
+
+
+class TestFunctionalDhrystone:
+    @BOTH
+    def test_checksum_matches_oracle(self, kind):
+        software, expected = functional_dhrystone(iterations=20)
+        vp = run(kind, software)
+        assert result(vp) == expected
+
+    def test_iteration_scaling(self):
+        software10, expected10 = functional_dhrystone(10)
+        software40, expected40 = functional_dhrystone(40)
+        assert expected40 == 4 * expected10
+        assert result(run("aoa", software10)) == expected10
+        assert result(run("aoa", software40)) == expected40
+
+    def test_aoa_faster_than_avp64_on_real_code(self):
+        software, _ = functional_dhrystone(iterations=100)
+        aoa = run("aoa", software)
+        avp = run("avp64", software)
+        assert result(aoa) == result(avp)
+        assert aoa.wall_time_seconds() < avp.wall_time_seconds()
+        # Same order of magnitude as the phase-mode ratio (~10x): the
+        # functional and performance layers tell one consistent story.
+        ratio = avp.wall_time_seconds() / aoa.wall_time_seconds()
+        assert 3 < ratio < 40
+
+
+class TestFunctionalMemtest:
+    @BOTH
+    def test_walking_pattern_checksum(self, kind):
+        software, expected = functional_memtest(words=64)
+        vp = run(kind, software)
+        assert result(vp) == expected
+
+    def test_different_sizes(self):
+        for words in (1, 7, 128):
+            software, expected = functional_memtest(words)
+            assert result(run("aoa", software)) == expected
+
+
+class TestFunctionalSieve:
+    @BOTH
+    def test_prime_count(self, kind):
+        software, expected = functional_sieve(limit=200)
+        vp = run(kind, software)
+        assert expected == 46          # primes below 200
+        assert result(vp) == expected
+
+    def test_small_limit(self):
+        software, expected = functional_sieve(limit=30)
+        assert expected == 10
+        assert result(run("aoa", software)) == expected
+
+
+class TestCrossModeConsistency:
+    def test_parallel_flag_does_not_change_results(self):
+        software, expected = functional_sieve(limit=100)
+        config = VpConfig(num_cores=1, quantum=SimTime.us(100), parallel=True)
+        vp = build_platform("aoa", config, software)
+        vp.run(SimTime.ms(2000))
+        assert result(vp) == expected
+
+    def test_quantum_does_not_change_results(self):
+        software, expected = functional_dhrystone(iterations=15)
+        for quantum_us in (10, 100, 5000):
+            vp = run("aoa", software, quantum_us=quantum_us)
+            assert result(vp) == expected

@@ -1,0 +1,146 @@
+"""Host machine models and the wall-clock ledger."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.host.accounting import HostLedger
+from repro.host.machine import (
+    MAIN_LANE,
+    CoreKind,
+    amd_ryzen_3900x,
+    apple_m2_pro,
+)
+from repro.host.params import SimulationCostParams
+from repro.systemc.time import SimTime
+
+
+class TestMachines:
+    def test_m2_pro_core_mix(self):
+        machine = apple_m2_pro()
+        assert len(machine.performance_cores) == 6
+        assert len(machine.efficiency_cores) == 4
+        assert all(core.speed == 1.0 for core in machine.performance_cores)
+        assert all(core.speed < 1.0 for core in machine.efficiency_cores)
+
+    def test_ryzen_uniform(self):
+        machine = amd_ryzen_3900x()
+        assert len(machine.cores) == 12
+        assert all(core.kind is CoreKind.PERFORMANCE for core in machine.cores)
+
+    def test_sequential_placement_all_on_fastest(self):
+        machine = apple_m2_pro()
+        placement = machine.place_lanes(8, parallel=False)
+        speeds = {placement[lane].speed for lane in range(8)}
+        assert speeds == {1.0}
+
+    def test_parallel_quad_all_on_performance_cores(self):
+        machine = apple_m2_pro()
+        placement = machine.place_lanes(4, parallel=True)
+        assert all(placement[lane].speed == 1.0 for lane in range(4))
+        assert placement[MAIN_LANE].speed == 1.0
+
+    def test_parallel_octa_spills_onto_efficiency_cores(self):
+        machine = apple_m2_pro()
+        placement = machine.place_lanes(8, parallel=True)
+        slow_lanes = [lane for lane in range(8) if placement[lane].speed < 1.0]
+        assert len(slow_lanes) == 3     # main + 5 workers fill the 6 P-cores
+
+    def test_lane_speed_helper(self):
+        machine = apple_m2_pro()
+        assert machine.lane_speed(0, 4, True) == 1.0
+        assert machine.lane_speed(7, 8, True) < 1.0
+
+
+class TestLedger:
+    def make(self, parallel, num_cores=2, costs=None):
+        return HostLedger(SimTime.ms(1), parallel, apple_m2_pro(), num_cores,
+                          costs or SimulationCostParams(
+                              kernel_overhead_ns_per_window=0.0,
+                              parallel_dispatch_ns=0.0,
+                              sequential_loop_ns=0.0))
+
+    def test_sequential_sums_lanes(self):
+        ledger = self.make(parallel=False)
+        ledger.add(0, 0, 100.0)
+        ledger.add(0, 1, 50.0)
+        ledger.add(0, MAIN_LANE, 25.0)
+        assert ledger.wall_time_ns() == pytest.approx(175.0)
+
+    def test_parallel_takes_window_max(self):
+        ledger = self.make(parallel=True)
+        ledger.add(0, 0, 100.0)
+        ledger.add(0, 1, 50.0)
+        ledger.add(0, MAIN_LANE, 25.0)
+        assert ledger.wall_time_ns() == pytest.approx(100.0)
+
+    def test_windows_accumulate(self):
+        ledger = self.make(parallel=True)
+        ledger.add(0, 0, 100.0)
+        ledger.add(1, 0, 200.0)
+        ledger.add(2, 1, 300.0)
+        assert ledger.wall_time_ns() == pytest.approx(600.0)
+        assert ledger.window_count() == 3
+
+    def test_parallel_dispatch_overhead_per_worker(self):
+        costs = SimulationCostParams(kernel_overhead_ns_per_window=0.0,
+                                     parallel_dispatch_ns=10.0,
+                                     sequential_loop_ns=0.0)
+        ledger = self.make(parallel=True, costs=costs)
+        ledger.add(0, 0, 100.0)
+        ledger.add(0, 1, 40.0)
+        assert ledger.wall_time_ns() == pytest.approx(100.0 + 2 * 10.0)
+
+    def test_kernel_overhead_per_window(self):
+        costs = SimulationCostParams(kernel_overhead_ns_per_window=7.0,
+                                     parallel_dispatch_ns=0.0,
+                                     sequential_loop_ns=0.0)
+        ledger = self.make(parallel=False, costs=costs)
+        ledger.add(0, 0, 1.0)
+        ledger.add(5, 0, 1.0)
+        assert ledger.wall_time_ns() == pytest.approx(2.0 + 14.0)
+
+    def test_categories_tracked(self):
+        ledger = self.make(parallel=True)
+        ledger.add(0, 0, 10.0, "guest")
+        ledger.add(0, 0, 5.0, "mmio")
+        ledger.add(1, 1, 3.0, "guest")
+        totals = ledger.category_totals()
+        assert totals == {"guest": 13.0, "mmio": 5.0}
+
+    def test_negative_or_zero_ignored(self):
+        ledger = self.make(parallel=True)
+        ledger.add(0, 0, 0.0)
+        ledger.add(0, 0, -5.0)
+        assert ledger.wall_time_ns() == 0.0
+
+    def test_busiest_lane(self):
+        ledger = self.make(parallel=True)
+        assert ledger.busiest_lane() is None
+        ledger.add(0, 0, 10.0)
+        ledger.add(0, 1, 30.0)
+        ledger.add(1, 1, 5.0)
+        assert ledger.busiest_lane() == 1
+
+    def test_reset(self):
+        ledger = self.make(parallel=True)
+        ledger.add(0, 0, 10.0)
+        ledger.reset()
+        assert ledger.wall_time_ns() == 0.0
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            HostLedger(SimTime.zero(), True, apple_m2_pro(), 1)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 3),
+                              st.floats(0.1, 1e6)), min_size=1, max_size=50))
+    def test_parallel_never_exceeds_sequential(self, contributions):
+        costs = SimulationCostParams(kernel_overhead_ns_per_window=0.0,
+                                     parallel_dispatch_ns=0.0,
+                                     sequential_loop_ns=0.0)
+        par = HostLedger(SimTime.ms(1), True, apple_m2_pro(), 4, costs)
+        seq = HostLedger(SimTime.ms(1), False, apple_m2_pro(), 4, costs)
+        for window, lane, nanoseconds in contributions:
+            par.add(window, lane, nanoseconds)
+            seq.add(window, lane, nanoseconds)
+        assert par.wall_time_ns() <= seq.wall_time_ns() + 1e-6

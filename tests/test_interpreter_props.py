@@ -1,0 +1,166 @@
+"""Property-based checks of interpreter semantics against a Python oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.isa import Cond, Instruction, Op, encode
+from repro.arch.registers import MASK64, CpuState
+from repro.iss.executor import ExitReason, GuestMemoryMap
+from repro.iss.interpreter import Interpreter
+
+
+def execute(instructions, setup_regs=None):
+    """Run a short instruction sequence (plus HLT) on a fresh core."""
+    memory = GuestMemoryMap()
+    memory.add_slot(0, memoryview(bytearray(0x10000)))
+    words = b"".join(encode(inst).to_bytes(4, "little") for inst in instructions)
+    words += encode(Instruction(Op.HLT)).to_bytes(4, "little")
+    memory.write(0x1000, words)
+    state = CpuState()
+    state.pc = 0x1000
+    for index, value in (setup_regs or {}).items():
+        state.write_reg(index, value)
+    interp = Interpreter(state, memory)
+    info = interp.run(len(instructions) + 8)
+    assert info.reason is ExitReason.HALT, info
+    return state
+
+
+_u64 = st.integers(0, MASK64)
+
+_ALU_ORACLE = {
+    Op.ADD: lambda a, b: (a + b) & MASK64,
+    Op.SUB: lambda a, b: (a - b) & MASK64,
+    Op.MUL: lambda a, b: (a * b) & MASK64,
+    Op.UDIV: lambda a, b: 0 if b == 0 else a // b,
+    Op.UREM: lambda a, b: a if b == 0 else a % b,
+    Op.AND: lambda a, b: a & b,
+    Op.ORR: lambda a, b: a | b,
+    Op.EOR: lambda a, b: a ^ b,
+}
+
+
+class TestAluOracle:
+    @given(st.sampled_from(sorted(_ALU_ORACLE)), _u64, _u64)
+    @settings(max_examples=200)
+    def test_reg3_ops_match_oracle(self, op, a, b):
+        state = execute([Instruction(op, rd=3, rn=1, rm=2)], {1: a, 2: b})
+        assert state.regs[3] == _ALU_ORACLE[op](a, b)
+
+    @given(_u64, st.integers(0, 0xFFF))
+    def test_addi_subi(self, a, imm):
+        state = execute([Instruction(Op.ADDI, rd=3, rn=1, imm=imm),
+                         Instruction(Op.SUBI, rd=4, rn=1, imm=imm)], {1: a})
+        assert state.regs[3] == (a + imm) & MASK64
+        assert state.regs[4] == (a - imm) & MASK64
+
+    @given(_u64, st.integers(0, 63))
+    def test_shifts(self, a, amount):
+        state = execute([
+            Instruction(Op.LSLI, rd=3, rn=1, imm=amount),
+            Instruction(Op.LSRI, rd=4, rn=1, imm=amount),
+            Instruction(Op.ASRI, rd=5, rn=1, imm=amount),
+        ], {1: a})
+        assert state.regs[3] == (a << amount) & MASK64
+        assert state.regs[4] == a >> amount
+        signed = a - (1 << 64) if a >> 63 else a
+        assert state.regs[5] == (signed >> amount) & MASK64
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 3))
+    def test_movz_places_halfword(self, imm, shift):
+        state = execute([Instruction(Op.MOVZ, rd=1, rm=shift, imm=imm)])
+        assert state.regs[1] == imm << (16 * shift)
+
+    @given(_u64, st.integers(0, 0xFFFF), st.integers(0, 3))
+    def test_movk_preserves_other_halfwords(self, initial, imm, shift):
+        state = execute([Instruction(Op.MOVK, rd=1, rm=shift, imm=imm)], {1: initial})
+        expected = (initial & ~(0xFFFF << (16 * shift)) | (imm << (16 * shift))) & MASK64
+        assert state.regs[1] == expected
+
+
+def _oracle_condition(cond, a, b):
+    sa = a - (1 << 64) if a >> 63 else a
+    sb = b - (1 << 64) if b >> 63 else b
+    return {
+        Cond.EQ: a == b, Cond.NE: a != b,
+        Cond.HS: a >= b, Cond.LO: a < b,
+        Cond.HI: a > b, Cond.LS: a <= b,
+        Cond.GE: sa >= sb, Cond.LT: sa < sb,
+        Cond.GT: sa > sb, Cond.LE: sa <= sb,
+        Cond.MI: ((a - b) & MASK64) >> 63 != 0,
+        Cond.PL: ((a - b) & MASK64) >> 63 == 0,
+        Cond.AL: True,
+    }[cond]
+
+
+class TestBranchOracle:
+    @given(st.sampled_from([Cond.EQ, Cond.NE, Cond.HS, Cond.LO, Cond.HI,
+                            Cond.LS, Cond.GE, Cond.LT, Cond.GT, Cond.LE]),
+           _u64, _u64)
+    @settings(max_examples=200)
+    def test_cmp_bcond_matches_signed_unsigned_oracle(self, cond, a, b):
+        # cmp x1, x2 ; b.cond +2 ; movz x3,#0 ; hlt | movz x3,#1 ; hlt
+        program = [
+            Instruction(Op.CMP, rn=1, rm=2),
+            Instruction(Op.BCOND, cond=cond, imm=3),
+            Instruction(Op.MOVZ, rd=3, imm=0),
+            Instruction(Op.HLT),
+            Instruction(Op.MOVZ, rd=3, imm=1),
+        ]
+        state = execute(program, {1: a, 2: b})
+        taken = bool(state.regs[3])
+        expected = _oracle_condition(cond, a, b)
+        # MI/PL oracle above is about the subtraction's sign; skip the
+        # mapping subtleties by evaluating through flags only for them.
+        assert taken == expected
+
+    @given(_u64)
+    def test_cbz_cbnz_complement(self, value):
+        program = [
+            Instruction(Op.CBZ, rd=1, imm=3),
+            Instruction(Op.MOVZ, rd=3, imm=1),   # not taken path
+            Instruction(Op.HLT),
+            Instruction(Op.MOVZ, rd=3, imm=2),   # taken path
+        ]
+        state = execute(program, {1: value})
+        assert state.regs[3] == (2 if value == 0 else 1)
+
+
+class TestMemoryRoundTrip:
+    @given(_u64, st.integers(0x2000, 0x7FF8))
+    def test_str_ldr_roundtrip(self, value, address):
+        address &= ~7
+        program = [
+            Instruction(Op.STR, rd=1, rn=2, imm=0),
+            Instruction(Op.LDR, rd=3, rn=2, imm=0),
+        ]
+        state = execute(program, {1: value, 2: address})
+        assert state.regs[3] == value
+
+    @given(_u64)
+    def test_strw_ldrw_truncates_to_32(self, value):
+        program = [
+            Instruction(Op.STRW, rd=1, rn=2, imm=0),
+            Instruction(Op.LDRW, rd=3, rn=2, imm=0),
+        ]
+        state = execute(program, {1: value, 2: 0x3000})
+        assert state.regs[3] == value & 0xFFFFFFFF
+
+    @given(_u64)
+    def test_strb_ldrb_truncates_to_8(self, value):
+        program = [
+            Instruction(Op.STRB, rd=1, rn=2, imm=0),
+            Instruction(Op.LDRB, rd=3, rn=2, imm=0),
+        ]
+        state = execute(program, {1: value, 2: 0x3000})
+        assert state.regs[3] == value & 0xFF
+
+    @given(st.lists(st.tuples(st.integers(0, 0xFF), st.integers(0, 0x3FF8)),
+                    max_size=16))
+    def test_instret_equals_retired_instructions(self, stores):
+        program = []
+        for value, offset in stores:
+            program.append(Instruction(Op.MOVZ, rd=1, imm=value))
+            program.append(Instruction(Op.STRB, rd=1, rn=2, imm=offset))
+        state = execute(program, {2: 0x4000})
+        assert state.instret == len(program) + 1   # + HLT

@@ -1,0 +1,124 @@
+"""Synthetic Linux boot (phase mode): completion, invariants, Fig. 6 shapes.
+
+All runs use a heavily scaled-down boot (LinuxBootParams().scaled(...)), so
+these check *relationships*, not absolute seconds.
+"""
+
+import pytest
+
+from repro.systemc.time import SimTime
+from repro.vp import VpConfig, build_platform
+from repro.vp.linux import BOOT_DONE, LinuxBootParams, linux_boot_software
+
+
+def boot(cores, quantum_us=1000, parallel=True, annotations=False,
+         kind="aoa", factor=0.005):
+    params = LinuxBootParams().scaled(factor)
+    software = linux_boot_software(cores, params)
+    config = VpConfig(num_cores=cores, quantum=SimTime.us(quantum_us),
+                      parallel=parallel, wfi_annotations=annotations)
+    vp = build_platform(kind, config, software)
+    vp.simctl.on_boot_done = lambda _t: vp.sim.stop()
+    vp.run(SimTime.seconds(200))
+    assert vp.simctl.boot_done_at is not None, "boot did not finish"
+    return vp
+
+
+class TestBootCompletes:
+    @pytest.mark.parametrize("cores", [1, 2, 4])
+    def test_aoa_boot_reaches_login(self, cores):
+        vp = boot(cores)
+        assert vp.simctl.boot_done_at > SimTime.zero()
+        flag = int.from_bytes(vp.ram.data[BOOT_DONE & 0xFFFFFF:][:8], "little")
+        assert flag == 1
+
+    def test_avp64_boot_reaches_login(self):
+        vp = boot(2, kind="avp64")
+        assert vp.simctl.boot_done_at is not None
+
+    def test_console_log_printed(self):
+        vp = boot(1)
+        output = vp.console_output()
+        assert len(output) > 100
+        assert "\n" in output
+
+    def test_rootfs_was_read_from_sd(self):
+        vp = boot(1)
+        assert vp.sdcard.num_reads >= 16
+        assert vp.sdhci.num_commands >= 16
+
+    def test_secondaries_released_and_online(self):
+        vp = boot(4)
+        assert vp.gic.num_sgis_sent > 4
+
+    def test_timer_ticks_serviced(self):
+        vp = boot(2)
+        assert vp.timer.num_expirations > 0
+        assert vp.gic.num_eois > 0
+
+    def test_annotated_boot_completes(self):
+        vp = boot(4, annotations=True)
+        assert sum(cpu.num_wfi_suspends for cpu in vp.cpus) > 0
+
+
+class TestFig6Shapes:
+    def test_sequential_multicore_is_catastrophic_without_annotations(self):
+        single = boot(1, parallel=False)
+        octa = boot(8, parallel=False)
+        assert octa.wall_time_seconds() > 4 * single.wall_time_seconds()
+
+    def test_parallel_helps_unannotated_boot(self):
+        seq = boot(8, parallel=False)
+        par = boot(8, parallel=True)
+        assert par.wall_time_seconds() < 0.7 * seq.wall_time_seconds()
+
+    def test_annotations_beat_plain_parallel(self):
+        plain = boot(8, parallel=True, annotations=False)
+        annotated = boot(8, parallel=True, annotations=True)
+        assert annotated.wall_time_seconds() < plain.wall_time_seconds()
+
+    def test_larger_quantum_slows_sequential_multicore_boot(self):
+        small = boot(4, quantum_us=100, parallel=False)
+        large = boot(4, quantum_us=5000, parallel=False)
+        assert large.wall_time_seconds() > small.wall_time_seconds()
+
+    def test_wfi_blocked_time_dominates_unannotated_sequential(self):
+        vp = boot(4, parallel=False, annotations=False)
+        categories = vp.ledger.category_totals()
+        assert categories.get("wfi_blocked", 0) > categories.get("guest", 0)
+
+    def test_annotation_eliminates_wfi_blocking(self):
+        vp = boot(4, parallel=False, annotations=True)
+        categories = vp.ledger.category_totals()
+        blocked = categories.get("wfi_blocked", 0.0)
+        total = sum(categories.values())
+        assert blocked < 0.05 * total
+
+
+class TestDeterminism:
+    def test_boot_is_bit_for_bit_reproducible(self):
+        first = boot(2)
+        second = boot(2)
+        assert first.simctl.boot_done_at == second.simctl.boot_done_at
+        assert first.wall_time_seconds() == second.wall_time_seconds()
+        assert first.total_instructions() == second.total_instructions()
+        assert first.console_output() == second.console_output()
+
+    def test_annotations_do_not_change_boot_work(self):
+        plain = boot(2, annotations=False)
+        annotated = boot(2, annotations=True)
+        # Idle spinning differs, but the boot work (core 0's program)
+        # completed in both; console output is identical.
+        assert plain.console_output() == annotated.console_output()
+
+
+class TestScaling:
+    def test_scaled_params(self):
+        params = LinuxBootParams().scaled(0.01)
+        assert params.boot_work_instructions == 50_000_000
+        assert params.handshake_rounds == LinuxBootParams().handshake_rounds
+        assert params.global_syncs == LinuxBootParams().global_syncs
+
+    def test_scaled_floors_at_one(self):
+        params = LinuxBootParams().scaled(1e-12)
+        assert params.boot_work_instructions >= 1

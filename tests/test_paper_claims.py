@@ -1,0 +1,38 @@
+"""The paper's headline claims, checked end-to-end through the experiment
+harness at reduced scale (shapes are scale-invariant; absolute values are
+recorded at full scale in EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.bench import get_experiment
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return get_experiment("fig5").run(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return get_experiment("fig6").run(scale=0.01)
+
+
+class TestFig5Claims:
+    def test_all_expectations(self, fig5_result):
+        failures = [check for check in fig5_result.checks if not check["passed"]]
+        assert not failures, failures
+
+
+class TestFig6Claims:
+    def test_all_expectations(self, fig6_result):
+        failures = [check for check in fig6_result.checks if not check["passed"]]
+        assert not failures, failures
+
+
+class TestFig7Claims:
+    def test_all_expectations(self):
+        result = get_experiment("fig7").run(scale=0.05)
+        failures = [check for check in result.checks if not check["passed"]]
+        assert not failures, failures

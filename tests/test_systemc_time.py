@@ -1,0 +1,143 @@
+"""SimTime value-type semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.systemc.time import MS, NS, PS, SEC, US, SimTime
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert SimTime().picoseconds == 0
+        assert SimTime().is_zero()
+
+    def test_unit_constructors(self):
+        assert SimTime.ps(5).picoseconds == 5
+        assert SimTime.ns(5).picoseconds == 5 * NS
+        assert SimTime.us(5).picoseconds == 5 * US
+        assert SimTime.ms(5).picoseconds == 5 * MS
+        assert SimTime.seconds(5).picoseconds == 5 * SEC
+
+    def test_fractional_units_round(self):
+        assert SimTime.ns(1.5).picoseconds == 1500
+        assert SimTime.us(0.001).picoseconds == 1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(-1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            SimTime(1.5)
+
+    def test_from_frequency(self):
+        assert SimTime.from_frequency(1e9) == SimTime.ns(1)
+        assert SimTime.from_frequency(1e6) == SimTime.us(1)
+
+    def test_from_frequency_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SimTime.from_frequency(0)
+        with pytest.raises(ValueError):
+            SimTime.from_frequency(-5)
+
+    def test_zero_singleton_semantics(self):
+        assert SimTime.zero() == SimTime(0)
+        assert not SimTime.zero()
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert SimTime.ns(3) + SimTime.ns(4) == SimTime.ns(7)
+        assert SimTime.us(1) - SimTime.ns(1) == SimTime.ns(999)
+
+    def test_sub_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            SimTime.ns(1) - SimTime.ns(2)
+
+    def test_scalar_multiplication(self):
+        assert SimTime.ns(3) * 2 == SimTime.ns(6)
+        assert 2 * SimTime.ns(3) == SimTime.ns(6)
+        assert SimTime.ns(3) * 0.5 == SimTime.ps(1500)
+
+    def test_floordiv_counts_quanta(self):
+        assert SimTime.ms(1) // SimTime.us(100) == 10
+        assert SimTime.us(150) // SimTime.us(100) == 1
+
+    def test_mod(self):
+        assert SimTime.us(150) % SimTime.us(100) == SimTime.us(50)
+
+    def test_truediv_by_simtime_gives_ratio(self):
+        assert SimTime.ms(1) / SimTime.us(500) == 2.0
+
+    def test_truediv_by_scalar_gives_time(self):
+        assert SimTime.us(1) / 2 == SimTime.ns(500)
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert SimTime.ns(1) < SimTime.ns(2) <= SimTime.ns(2)
+        assert SimTime.us(1) > SimTime.ns(999)
+        assert SimTime.us(1) >= SimTime.us(1)
+
+    def test_eq_and_hash(self):
+        assert SimTime.ns(1000) == SimTime.us(1)
+        assert hash(SimTime.ns(1000)) == hash(SimTime.us(1))
+        assert SimTime.ns(1) != "1 ns"
+
+    def test_bool(self):
+        assert SimTime.ns(1)
+        assert not SimTime(0)
+
+    def test_comparison_with_non_time_raises(self):
+        with pytest.raises(TypeError):
+            SimTime.ns(1) < 5
+
+
+class TestConversionAndStr:
+    def test_to_seconds(self):
+        assert SimTime.ms(500).to_seconds() == 0.5
+        assert SimTime.us(1).to_ns() == 1000.0
+        assert SimTime.ms(2).to_us() == 2000.0
+        assert SimTime.seconds(1).to_ms() == 1000.0
+
+    def test_str_picks_exact_unit(self):
+        assert str(SimTime.ns(5)) == "5 ns"
+        assert str(SimTime.us(100)) == "100 us"
+        assert str(SimTime.ms(1)) == "1 ms"
+        assert str(SimTime(0)) == "0 s"
+
+    def test_str_exact_smaller_unit_preferred(self):
+        assert str(SimTime.ps(1_500_000)) == "1500 ns"
+
+    def test_str_fractional(self):
+        assert "us" in str(SimTime.ps(1_500_001))
+
+    def test_repr(self):
+        assert repr(SimTime.ns(1)) == "SimTime(1000 ps)"
+
+
+_times = st.integers(min_value=0, max_value=10**15).map(SimTime)
+
+
+class TestProperties:
+    @given(_times, _times)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(_times, _times, _times)
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(_times, _times)
+    def test_add_then_sub_roundtrips(self, a, b):
+        assert (a + b) - b == a
+
+    @given(_times, st.integers(min_value=1, max_value=10**6))
+    def test_divmod_identity(self, t, q_ps):
+        quantum = SimTime(q_ps)
+        assert quantum * (t // quantum) + (t % quantum) == t
+
+    @given(_times, _times)
+    def test_ordering_total(self, a, b):
+        assert (a < b) + (a == b) + (a > b) == 1

@@ -1,0 +1,167 @@
+"""Non-intrusive tracing (NISTT-style)."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.systemc.kernel import Kernel
+from repro.systemc.signal import IrqLine
+from repro.systemc.time import SimTime
+from repro.tlm.payload import Command
+from repro.tlm.sockets import InitiatorSocket
+from repro.trace import TlmTracer, attach_platform
+from repro.vcml.memory import Memory
+from repro.vp import GuestSoftware, VpConfig, build_platform
+
+HELLO = """
+_start:
+    movz x1, #0x0904, lsl #16
+    movz x2, #0x48
+    strb x2, [x1]
+    ldrw x3, [x1, #0x18]      // UART FR
+    movz x4, #0x090F, lsl #16
+    str x4, [x4]
+    hlt #0
+"""
+
+
+class TestSocketTracing:
+    def make(self):
+        kernel = Kernel()
+        memory = Memory("ram", 0x1000)
+        tracer = TlmTracer(kernel)
+        tracer.attach_socket(memory.in_socket, name="ram")
+        initiator = InitiatorSocket("cpu", initiator_id=4)
+        initiator.bind(memory.in_socket)
+        return tracer, initiator, memory
+
+    def test_records_reads_and_writes(self):
+        tracer, initiator, _ = self.make()
+        initiator.write_u32(0x10, 0xAABBCCDD)
+        initiator.read_u32(0x10)
+        assert len(tracer) == 2
+        write, read = tracer.records
+        assert write.command is Command.WRITE and write.address == 0x10
+        assert write.data == (0xAABBCCDD).to_bytes(4, "little")
+        assert read.command is Command.READ
+        assert read.initiator_id == 4
+        assert write.latency_ps > 0
+
+    def test_tracing_does_not_change_behaviour(self):
+        tracer, initiator, memory = self.make()
+        initiator.write(0x20, b"\x55")
+        assert memory.peek(0x20, 1) == b"\x55"
+        assert memory.num_writes == 1
+
+    def test_pause_resume(self):
+        tracer, initiator, _ = self.make()
+        tracer.pause()
+        initiator.write_u32(0, 1)
+        tracer.resume()
+        initiator.write_u32(0, 2)
+        assert len(tracer) == 1
+
+    def test_double_attach_rejected(self):
+        tracer, _, memory = self.make()
+        with pytest.raises(ValueError):
+            tracer.attach_socket(memory.in_socket, name="ram")
+
+    def test_filtering(self):
+        tracer, initiator, _ = self.make()
+        initiator.write_u32(0x10, 1)
+        initiator.write_u32(0x50, 2)
+        initiator.read_u32(0x10)
+        assert len(tracer.filter(command=Command.WRITE)) == 2
+        assert len(tracer.filter(address_range=(0x40, 0x60))) == 1
+        assert len(tracer.filter(socket="nope")) == 0
+
+    def test_statistics(self):
+        tracer, initiator, _ = self.make()
+        initiator.write_u32(0x10, 1)
+        initiator.write_u32(0x14, 2)
+        initiator.read(0x10, 8)
+        stats = tracer.statistics()["ram"]
+        assert stats["writes"] == 2
+        assert stats["reads"] == 1
+        assert stats["bytes_written"] == 8
+        assert stats["bytes_read"] == 8
+
+    def test_csv_export(self, tmp_path):
+        tracer, initiator, _ = self.make()
+        initiator.write_u32(0x10, 0xDEAD)
+        path = tmp_path / "trace.csv"
+        assert tracer.to_csv(str(path)) == 1
+        content = path.read_text()
+        assert "0x10" in content and "WRITE" in content
+
+    def test_capture_data_disabled(self):
+        kernel = Kernel()
+        memory = Memory("ram", 0x100)
+        tracer = TlmTracer(kernel, capture_data=False)
+        tracer.attach_socket(memory.in_socket)
+        initiator = InitiatorSocket("cpu")
+        initiator.bind(memory.in_socket)
+        initiator.write_u32(0, 1)
+        assert tracer.records[0].data == b""
+
+
+class TestIrqTracing:
+    def test_edges_recorded(self):
+        kernel = Kernel()
+        tracer = TlmTracer(kernel)
+        line = IrqLine("irq", kernel)
+        tracer.attach_irq(line, "timer")
+        line.raise_irq()
+        line.lower_irq()
+        assert [record.level for record in tracer.irq_records] == [True, False]
+
+    def test_vcd_export(self):
+        kernel = Kernel()
+        tracer = TlmTracer(kernel)
+        line_a = IrqLine("a", kernel)
+        line_b = IrqLine("b", kernel)
+        tracer.attach_irq(line_a, "uart_irq")
+        tracer.attach_irq(line_b, "timer_irq")
+        line_a.raise_irq()
+        line_b.raise_irq()
+        line_a.lower_irq()
+        vcd = tracer.irq_vcd()
+        assert "$timescale 1ps $end" in vcd
+        assert "uart_irq" in vcd and "timer_irq" in vcd
+        assert "$enddefinitions" in vcd
+
+
+class TestPlatformTracing:
+    def _traced_run(self):
+        image = assemble(HELLO, base_address=0x1000)
+        software = GuestSoftware(image=image, mode="interpreter")
+        vp = build_platform("aoa", VpConfig(num_cores=1), software)
+        tracer = attach_platform(vp)
+        vp.run(SimTime.ms(10))
+        return vp, tracer
+
+    def test_full_platform_trace(self):
+        vp, tracer = self._traced_run()
+        assert vp.console_output() == "H"
+        uart_writes = tracer.filter(address_range=(0x0904_0000, 0x0904_FFFF),
+                                    command=Command.WRITE)
+        assert len(uart_writes) == 1
+        assert uart_writes[0].data == b"H"
+        # The FR read was observed too.
+        uart_reads = tracer.filter(address_range=(0x0904_0000, 0x0904_FFFF),
+                                   command=Command.READ)
+        assert len(uart_reads) == 1
+
+    def test_trace_text_rendering(self):
+        _, tracer = self._traced_run()
+        text = tracer.to_text(limit=3)
+        assert "bus" in text and "0x0904" in text
+
+    def test_tracer_is_deterministically_transparent(self):
+        image = assemble(HELLO, base_address=0x1000)
+        software = GuestSoftware(image=image, mode="interpreter")
+        plain = build_platform("aoa", VpConfig(num_cores=1), software)
+        plain.run(SimTime.ms(10))
+        traced, _ = self._traced_run()
+        assert plain.console_output() == traced.console_output()
+        assert plain.total_instructions() == traced.total_instructions()
+        assert plain.wall_time_seconds() == traced.wall_time_seconds()

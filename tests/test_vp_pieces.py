@@ -1,0 +1,170 @@
+"""VP building blocks: config validation, software descriptors, guest-lib
+fragments, the DBT cost model, and the memory map."""
+
+import pytest
+
+from repro.host.params import IssCostParams
+from repro.iss.dbt import DbtCostModel
+from repro.iss.executor import GuestMemoryMap, RunStats
+from repro.iss.phase import Compute, Mmio, PhaseContext, PhaseExecutor, SpinUntil
+from repro.systemc.time import SimTime
+from repro.vp.config import MemoryMap, VpConfig
+from repro.vp.guestlib import (
+    BARRIER_BASE,
+    barrier,
+    console_print,
+    gic_cpu_setup,
+    send_sgi,
+    sgir_value,
+    shutdown,
+    timer_ack_mmio,
+    timer_setup,
+)
+from repro.vp.software import GuestSoftware, build_idle_image, default_irq_protocol
+
+
+class TestVpConfig:
+    def test_core_count_bounds(self):
+        with pytest.raises(ValueError):
+            VpConfig(num_cores=0)
+        with pytest.raises(ValueError):
+            VpConfig(num_cores=9)
+
+    def test_zero_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            VpConfig(quantum=SimTime.zero())
+
+    def test_host_defaults_differ_per_platform(self):
+        config = VpConfig()
+        assert "M2" in config.host_for_aoa().name
+        assert "Ryzen" in config.host_for_iss().name
+
+    def test_explicit_host_wins(self):
+        from repro.host.machine import amd_ryzen_3900x
+        config = VpConfig(host=amd_ryzen_3900x())
+        assert "Ryzen" in config.host_for_aoa().name
+
+
+class TestMemoryMap:
+    def test_gicc_banking(self):
+        assert MemoryMap.gicc_base(0) == 0x0801_0000
+        assert MemoryMap.gicc_base(3) == 0x0801_3000
+        assert MemoryMap.gicc_iar(1) == MemoryMap.gicc_base(1) + 0xC
+        assert MemoryMap.gicc_eoir(1) == MemoryMap.gicc_base(1) + 0x10
+
+    def test_peripherals_do_not_overlap(self):
+        bases = [MemoryMap.TIMER_BASE, MemoryMap.UART_BASE, MemoryMap.RTC_BASE,
+                 MemoryMap.SDHCI_BASE, MemoryMap.SIMCTL_BASE]
+        windows = sorted((base, base + MemoryMap.PERIPH_WINDOW) for base in bases)
+        for (lo1, hi1), (lo2, hi2) in zip(windows, windows[1:]):
+            assert hi1 <= lo2
+
+
+class TestGuestSoftware:
+    def test_phase_mode_requires_programs(self):
+        with pytest.raises(ValueError):
+            GuestSoftware(image=build_idle_image(), mode="phase")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            GuestSoftware(image=build_idle_image(), mode="jit")
+
+    def test_idle_image_contains_annotatable_idle_loop(self):
+        from repro.core.wfi import WfiAnnotator
+        image = build_idle_image()
+        annotator = WfiAnnotator(image)
+        assert annotator.primary_address > image.entry
+
+    def test_default_irq_protocol_addresses(self):
+        protocol = default_irq_protocol(2)
+        assert protocol.iar_address == MemoryMap.gicc_iar(2)
+        assert protocol.eoir_address == MemoryMap.gicc_eoir(2)
+
+
+class TestGuestLib:
+    def test_sgir_encoding(self):
+        assert sgir_value(1, 0x2) == (0x2 << 16) | 1
+        mmio = send_sgi(0xFF, sgi=3)
+        assert mmio.address == MemoryMap.GICD_BASE + 0xF00
+        assert mmio.value == (0xFF << 16) | 3
+
+    def test_gic_cpu_setup_targets_banked_interface(self):
+        phases = list(gic_cpu_setup(2))
+        assert len(phases) == 2
+        assert all(MemoryMap.gicc_base(2) <= p.address < MemoryMap.gicc_base(3)
+                   for p in phases)
+
+    def test_timer_setup_interval_from_frequency(self):
+        phases = list(timer_setup(0, timer_hz=1_000_000.0, jiffy_hz=100.0))
+        interval_write = phases[0]
+        assert interval_write.value == 10_000     # 1 MHz / 100 Hz
+
+    def test_timer_ack_targets_channel(self):
+        ack = timer_ack_mmio(3)
+        assert ack.address == MemoryMap.TIMER_BASE + 3 * 0x20 + 0x10
+
+    def test_console_print_char_count(self):
+        phases = list(console_print(10))
+        assert len(phases) == 11                  # + newline
+        assert all(p.address == MemoryMap.UART_BASE for p in phases)
+
+    def test_shutdown_phase(self):
+        phase = shutdown(5)
+        assert phase.address == MemoryMap.SIMCTL_BASE
+        assert phase.value == 5
+
+    def test_barrier_emits_arrive_and_spin(self):
+        phases = list(barrier(slot=1, generation=2, num_cores=4,
+                              work_instructions=100))
+        kinds = [type(p).__name__ for p in phases]
+        assert kinds == ["Compute", "AtomicAdd", "SpinUntil"]
+        spin = phases[-1]
+        assert spin.address == BARRIER_BASE + 16
+        assert spin.value == 8 and spin.ge
+
+    def test_barrier_synchronizes_two_executors(self):
+        memory = GuestMemoryMap()
+        memory.add_slot(0, memoryview(bytearray(0x200000)))
+
+        def team(ctx):
+            yield Compute(100, key="work")
+            yield from barrier(slot=0, generation=1, num_cores=2)
+
+        a = PhaseExecutor(team, PhaseContext(0, memory))
+        b = PhaseExecutor(team, PhaseContext(1, memory))
+        # a runs: computes, arrives, spins (budget-bound).
+        assert a.run(10_000).reason.value == "budget"
+        # b runs: computes, arrives -> counter reaches 2 -> passes barrier.
+        assert b.run(10_000).reason.value == "halt"
+        # a re-checks and passes too.
+        assert a.run(10_000).reason.value == "halt"
+
+
+class TestDbtCostModel:
+    def test_delta_based_charging(self):
+        model = DbtCostModel(IssCostParams(dispatch_ns_per_inst=1.0,
+                                           translation_ns_per_block=100.0,
+                                           mem_extra_ns=0.0, tlb_miss_ns=0.0,
+                                           irq_check_ns=0.0, exception_ns=0.0))
+        first = model.charge(RunStats(instructions=100, blocks_translated=2))
+        assert first == pytest.approx(100 + 200)
+        second = model.charge(RunStats(instructions=150, blocks_translated=2))
+        assert second == pytest.approx(50)        # only the delta
+        assert model.total_ns == pytest.approx(350)
+
+    def test_event_costs(self):
+        model = DbtCostModel(IssCostParams(dispatch_ns_per_inst=0.0,
+                                           translation_ns_per_block=0.0,
+                                           mem_extra_ns=0.0, tlb_miss_ns=0.0,
+                                           mmio_ns=10.0, wfi_ns=5.0,
+                                           irq_check_ns=1.0, exception_ns=0.0))
+        cost = model.charge(RunStats(), mmio_exits=2, wfi_exits=1)
+        assert cost == pytest.approx(2 * 10 + 5 + 1)
+
+    def test_component_breakdown(self):
+        model = DbtCostModel()
+        model.charge(RunStats(instructions=1000, memory_ops=100,
+                              blocks_translated=5, tlb_misses=2))
+        assert model.dispatch_ns > 0
+        assert model.translation_ns > 0
+        assert model.mmu_ns > 0

@@ -1,0 +1,101 @@
+"""Software watchdog and the Listing-1 kick-id filter."""
+
+from repro.core.watchdog import KickGuard, UnguardedKick, Watchdog
+
+
+class TestWatchdog:
+    def test_schedule_and_advance(self):
+        watchdog = Watchdog()
+        fired = []
+        watchdog.schedule(0, now_ns=0, timeout_ns=100, callback=lambda: fired.append("a"))
+        watchdog.schedule(0, now_ns=0, timeout_ns=50, callback=lambda: fired.append("b"))
+        assert watchdog.advance(0, 60) == 1
+        assert fired == ["b"]
+        assert watchdog.advance(0, 200) == 1
+        assert fired == ["b", "a"]
+
+    def test_cancelled_entries_do_not_fire(self):
+        watchdog = Watchdog()
+        fired = []
+        entry = watchdog.schedule(0, 0, 10, lambda: fired.append(1))
+        watchdog.cancel(entry)
+        assert watchdog.advance(0, 100) == 0
+        assert fired == []
+        assert watchdog.num_cancelled == 1
+
+    def test_timelines_are_per_core(self):
+        watchdog = Watchdog()
+        fired = []
+        watchdog.schedule(0, 0, 10, lambda: fired.append("core0"))
+        watchdog.schedule(1, 0, 10, lambda: fired.append("core1"))
+        watchdog.advance(0, 100)
+        assert fired == ["core0"]
+        assert watchdog.pending(1) == 1
+
+    def test_negative_timeout_rejected(self):
+        import pytest
+        watchdog = Watchdog()
+        with pytest.raises(ValueError):
+            watchdog.schedule(0, 0, -1, lambda: None)
+
+    def test_same_deadline_fires_in_schedule_order(self):
+        watchdog = Watchdog()
+        fired = []
+        watchdog.schedule(0, 0, 10, lambda: fired.append("first"))
+        watchdog.schedule(0, 0, 10, lambda: fired.append("second"))
+        watchdog.advance(0, 10)
+        assert fired == ["first", "second"]
+
+
+class TestKickGuard:
+    def test_matching_id_delivers_signal(self):
+        signals = []
+        guard = KickGuard(lambda: signals.append("SIGUSR1"))
+        watchdog = Watchdog()
+        guard.arm(watchdog, 0, now_ns=0, timeout_ns=100)
+        watchdog.advance(0, 100)
+        assert signals == ["SIGUSR1"]
+        assert guard.num_kicks_delivered == 1
+
+    def test_stale_id_is_filtered(self):
+        """Listing 1: a timer armed for run N must not kick run N+1."""
+        signals = []
+        guard = KickGuard(lambda: signals.append("SIGUSR1"))
+        watchdog = Watchdog()
+        guard.arm(watchdog, 0, now_ns=0, timeout_ns=100)
+        # The KVM run exits early (MMIO at t=30) and the id moves on.
+        guard.next_run()
+        # A fresh watchdog is armed for the next run ...
+        guard.arm(watchdog, 0, now_ns=30, timeout_ns=100)
+        # ... and the *stale* timer expires while the new run is active.
+        watchdog.advance(0, 100)
+        assert signals == []
+        assert guard.num_kicks_filtered == 1
+        # The fresh timer still works.
+        watchdog.advance(0, 130)
+        assert signals == ["SIGUSR1"]
+
+    def test_many_early_exits_filter_all_stale_kicks(self):
+        signals = []
+        guard = KickGuard(lambda: signals.append(1))
+        watchdog = Watchdog()
+        now = 0.0
+        for _ in range(10):
+            guard.arm(watchdog, 0, now, 100)
+            now += 5                 # early exit after 5 ns each time
+            guard.next_run()
+        watchdog.advance(0, now + 1000)
+        assert signals == []
+        assert guard.num_kicks_filtered == 10
+
+
+class TestUnguardedKick:
+    def test_stale_kick_lands(self):
+        """The ablation variant shows the failure the id filter prevents."""
+        signals = []
+        unguarded = UnguardedKick(lambda: signals.append(1))
+        watchdog = Watchdog()
+        unguarded.arm(watchdog, 0, now_ns=0, timeout_ns=100)
+        unguarded.next_run()
+        watchdog.advance(0, 100)
+        assert signals == [1]       # the stale kick was delivered anyway

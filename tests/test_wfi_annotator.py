@@ -1,0 +1,114 @@
+"""WFI annotation pipeline: symbol search, scan, verify, apply."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.core.wfi import WfiAnnotationError, WfiAnnotator, try_annotate
+from repro.vp.software import build_idle_image
+
+LINUX_LIKE = """
+_start:
+    b _start
+
+.align 64
+cpu_do_idle:
+    dmb
+    nop
+    wfi
+    ret
+
+other_function:
+    wfi           // not annotated: outside cpu_do_idle
+    ret
+"""
+
+
+class TestResolution:
+    def test_finds_wfi_inside_cpu_do_idle(self):
+        image = assemble(LINUX_LIKE)
+        annotator = WfiAnnotator(image)
+        symbol = image.require_symbol("cpu_do_idle")
+        assert annotator.primary_address == symbol + 8
+        assert annotator.wfi_addresses == [symbol + 8]
+
+    def test_missing_symbol_raises(self):
+        image = assemble("_start:\n    wfi\n    ret\n")
+        with pytest.raises(WfiAnnotationError) as excinfo:
+            WfiAnnotator(image)
+        assert "cpu_do_idle" in str(excinfo.value)
+
+    def test_function_without_wfi_raises(self):
+        image = assemble("cpu_do_idle:\n    nop\n    ret\n")
+        with pytest.raises(WfiAnnotationError):
+            WfiAnnotator(image)
+
+    def test_ret_stops_the_scan(self):
+        # WFI exists *after* cpu_do_idle returns: must not be annotated.
+        image = assemble("""
+cpu_do_idle:
+    nop
+    ret
+stray:
+    wfi
+""")
+        with pytest.raises(WfiAnnotationError):
+            WfiAnnotator(image)
+
+    def test_custom_idle_symbol(self):
+        image = assemble("my_idle:\n    wfi\n    ret\n")
+        annotator = WfiAnnotator(image, idle_symbol="my_idle")
+        assert annotator.primary_address == image.require_symbol("my_idle")
+
+    def test_try_annotate_returns_none_for_bare_metal(self):
+        image = assemble("_start:\n    hlt #0\n")
+        assert try_annotate(image) is None
+
+    def test_try_annotate_success(self):
+        assert try_annotate(assemble(LINUX_LIKE)) is not None
+
+    def test_idle_image_annotates(self):
+        annotator = try_annotate(build_idle_image())
+        assert annotator is not None
+        assert annotator.primary_address > 0
+
+
+class TestVerification:
+    def test_verify_pc_step4(self):
+        image = assemble(LINUX_LIKE)
+        annotator = WfiAnnotator(image)
+        assert annotator.verify_pc(annotator.primary_address)
+        # A user breakpoint elsewhere must not be mistaken for the idle WFI.
+        assert not annotator.verify_pc(image.require_symbol("other_function"))
+        assert not annotator.verify_pc(0)
+
+
+class _FakeVcpu:
+    def __init__(self):
+        self._debug_breakpoints = set()
+
+    def set_guest_debug(self, breakpoints):
+        self._debug_breakpoints = set(breakpoints)
+
+
+class TestApplication:
+    def test_apply_installs_breakpoints_on_all_vcpus(self):
+        annotator = WfiAnnotator(assemble(LINUX_LIKE))
+        vcpus = [_FakeVcpu(), _FakeVcpu()]
+        annotator.apply(vcpus)
+        for vcpu in vcpus:
+            assert annotator.primary_address in vcpu._debug_breakpoints
+
+    def test_apply_preserves_user_breakpoints(self):
+        annotator = WfiAnnotator(assemble(LINUX_LIKE))
+        vcpu = _FakeVcpu()
+        vcpu._debug_breakpoints = {0xDEAD}
+        annotator.apply([vcpu])
+        assert vcpu._debug_breakpoints == {0xDEAD, annotator.primary_address}
+
+    def test_remove_keeps_user_breakpoints(self):
+        annotator = WfiAnnotator(assemble(LINUX_LIKE))
+        vcpu = _FakeVcpu()
+        vcpu._debug_breakpoints = {0xDEAD}
+        annotator.apply([vcpu])
+        annotator.remove([vcpu])
+        assert vcpu._debug_breakpoints == {0xDEAD}

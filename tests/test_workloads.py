@@ -1,0 +1,151 @@
+"""Workload builders and their Fig. 7 relationships at small scale."""
+
+import pytest
+
+from repro.bench.measure import make_config, run_workload
+from repro.workloads import (
+    MIBENCH_PROFILES,
+    NPB_PROFILES,
+    DhrystoneParams,
+    StreamParams,
+    dhrystone_software,
+    mibench_software,
+    npb_software,
+    stream_software,
+)
+
+
+def measure(kind, software, cores=1, quantum_us=1000, parallel=True,
+            annotations=None, **opts):
+    if annotations is None:
+        annotations = kind == "aoa"
+    config = make_config(cores, quantum_us, parallel, wfi_annotations=annotations)
+    return run_workload(kind, config, software, **opts)
+
+
+class TestDhrystone:
+    def test_instruction_count_matches_params(self):
+        params = DhrystoneParams(iterations=1000)
+        software = dhrystone_software(2, params)
+        metrics = measure("aoa", software, cores=2, annotations=False)
+        assert metrics.instructions == pytest.approx(2 * params.instructions, rel=0.01)
+
+    def test_all_cores_execute_own_instance(self):
+        software = dhrystone_software(4, DhrystoneParams(iterations=50_000))
+        metrics = measure("aoa", software, cores=4, annotations=False)
+        per_core = DhrystoneParams(iterations=50_000).instructions
+        assert metrics.instructions == pytest.approx(4 * per_core, rel=0.01)
+
+    def test_aoa_roughly_10x_avp64(self):
+        software = dhrystone_software(1, DhrystoneParams(iterations=300_000))
+        aoa = measure("aoa", software, annotations=False)
+        avp = measure("avp64", software)
+        assert 7 < avp.wall_seconds / aoa.wall_seconds < 14
+
+    def test_parallel_speedup_on_quad(self):
+        software = dhrystone_software(4, DhrystoneParams(iterations=300_000))
+        seq = measure("aoa", software, cores=4, parallel=False, annotations=False)
+        par = measure("aoa", software, cores=4, parallel=True, annotations=False)
+        assert par.wall_seconds < 0.4 * seq.wall_seconds
+
+
+class TestStream:
+    def test_tlb_profile_by_size(self):
+        assert StreamParams(10_000).tlb_miss_rate == 0.0
+        assert StreamParams(100_000).tlb_miss_rate > 0
+        assert StreamParams(1_000_000).tlb_miss_rate > 0
+
+    def test_instruction_count(self):
+        params = StreamParams(array_elements=1000, ntimes=2)
+        assert params.instructions == (4 + 5 + 6 + 7) * 1000 * 2
+
+    def test_speedup_exceeds_dhrystone(self):
+        stream = stream_software(1, StreamParams(array_elements=200_000, ntimes=2))
+        dhry = dhrystone_software(1, DhrystoneParams(iterations=30_000))
+        s_aoa = measure("aoa", stream)
+        s_avp = measure("avp64", stream)
+        d_aoa = measure("aoa", dhry, annotations=False)
+        d_avp = measure("avp64", dhry)
+        stream_speedup = s_avp.wall_seconds / s_aoa.wall_seconds
+        dhry_speedup = d_avp.wall_seconds / d_aoa.wall_seconds
+        assert stream_speedup > dhry_speedup
+
+
+class TestMiBench:
+    def test_profiles_have_both_variants(self):
+        for profile in MIBENCH_PROFILES.values():
+            assert profile.small_instructions < profile.large_instructions
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            MIBENCH_PROFILES["qsort"].instructions("medium")
+
+    def test_small_speedup_beats_large(self):
+        # Trim the large variant so the test stays fast; the static-block
+        # footprint (the phenomenon) is untouched.
+        small = mibench_software("susan_s", "small", 1)
+        results = {}
+        for label, software in (("small", small),):
+            aoa = measure("aoa", software)
+            avp = measure("avp64", software)
+            results[label] = avp.wall_seconds / aoa.wall_seconds
+        # susan S is translation-bound: enormous speedup.
+        assert results["small"] > 30
+
+    def test_translation_dominates_small_variant_on_avp64(self):
+        software = mibench_software("susan_s", "small", 1)
+        metrics = measure("avp64", software)
+        vp_cost = metrics.wall_seconds
+        from repro.host.params import DEFAULT_ISS_COSTS
+        translation_floor = (MIBENCH_PROFILES["susan_s"].static_blocks
+                             * DEFAULT_ISS_COSTS.translation_ns_per_block / 1e9)
+        assert vp_cost > 0.8 * translation_floor
+
+
+class TestNpb:
+    def test_profiles_describe_sync_density(self):
+        ft = NPB_PROFILES["ft"]
+        ep = NPB_PROFILES["ep"]
+        ft_density = ft.barriers_per_iteration * ft.iterations / ft.work_per_segment
+        ep_density = ep.barriers_per_iteration * ep.iterations / ep.work_per_segment
+        assert ft_density > 100 * ep_density
+
+    def test_barrier_workload_completes_on_all_cores(self):
+        software = npb_software("is", 4)
+        metrics = measure("aoa", software, cores=4,
+                          max_sim_seconds=500.0)
+        assert metrics.instructions > 0
+
+    def test_work_splits_across_cores(self):
+        one = npb_software("is", 1).info["workload"].instructions_per_core
+        four = npb_software("is", 4).info["workload"].instructions_per_core
+        assert four == pytest.approx(one / 4, rel=0.01)
+
+    @pytest.mark.slow
+    def test_ft_speedup_below_ep(self):
+        results = {}
+        for name in ("ft", "ep"):
+            software = npb_software(name, 4)
+            aoa = measure("aoa", software, cores=4, max_sim_seconds=2000.0)
+            avp = measure("avp64", software, cores=4, max_sim_seconds=2000.0)
+            results[name] = avp.wall_seconds / aoa.wall_seconds
+        assert results["ft"] < results["ep"]
+
+
+class TestRunHarness:
+    def test_run_did_not_finish_raises(self):
+        from repro.bench.measure import RunDidNotFinish
+        software = dhrystone_software(1, DhrystoneParams(iterations=10**9))
+        with pytest.raises(RunDidNotFinish):
+            run_workload("aoa", make_config(1, 1000.0, False), software,
+                         max_sim_seconds=0.001)
+
+    def test_metrics_fields(self):
+        software = dhrystone_software(1, DhrystoneParams(iterations=20_000))
+        metrics = measure("aoa", software, annotations=False)
+        assert metrics.platform == "aoa"
+        assert metrics.num_cores == 1
+        assert metrics.quantum_us == 1000.0
+        assert metrics.mips > 0
+        assert metrics.py_runtime >= 0
+        assert "num_syncs" in metrics.counters
