@@ -1,0 +1,157 @@
+"""Determinism checker: hash the kernel's event-queue pop order across runs.
+
+The paper's parallel-execution claim ("changes performance, not semantics",
+DESIGN.md) rests on the simulator being a deterministic function of its
+inputs.  This module verifies that *observationally*: it records every
+scheduler dispatch — ``(kind, time_ps, process name)`` for each process step
+and method run, via :attr:`repro.systemc.kernel.Kernel.trace_hook` — runs
+the same scenario twice, hashes both traces, and reports the first
+divergence if the hashes differ.
+
+Use :func:`check_determinism` with any zero-argument callable that builds
+*and runs* a fresh simulation, or :func:`check_script_determinism` to check
+an example script end to end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import runpy
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..systemc.kernel import Kernel
+from .findings import Finding, Severity
+
+TraceEntry = Tuple[str, int, str]
+
+
+class KernelTrace:
+    """Recorded scheduler dispatch order for one run."""
+
+    def __init__(self):
+        self.entries: List[TraceEntry] = []
+
+    def record(self, kind: str, time_ps: int, name: str) -> None:
+        self.entries.append((kind, time_ps, name))
+
+    def digest(self) -> str:
+        hasher = hashlib.sha256()
+        for kind, time_ps, name in self.entries:
+            hasher.update(f"{kind}|{time_ps}|{name}\n".encode())
+        return hasher.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class Divergence:
+    """Where two traces first disagree."""
+
+    index: int
+    first: Optional[TraceEntry]     # None when one trace is a prefix of the other
+    second: Optional[TraceEntry]
+    context: List[Tuple[Optional[TraceEntry], Optional[TraceEntry]]] = field(
+        default_factory=list)
+
+    def describe(self) -> str:
+        def show(entry: Optional[TraceEntry]) -> str:
+            if entry is None:
+                return "<end of trace>"
+            kind, time_ps, name = entry
+            return f"{kind} {name} @ {time_ps}ps"
+
+        lines = [f"first divergence at dispatch #{self.index}:",
+                 f"  run 1: {show(self.first)}",
+                 f"  run 2: {show(self.second)}"]
+        if self.context:
+            lines.append("  preceding dispatches:")
+            for left, right in self.context:
+                lines.append(f"    {show(left)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DeterminismReport:
+    digests: List[str]
+    lengths: List[int]
+    divergence: Optional[Divergence]
+
+    @property
+    def deterministic(self) -> bool:
+        return self.divergence is None and len(set(self.digests)) <= 1
+
+    def to_finding(self, where: str = "<determinism>") -> Optional[Finding]:
+        if self.deterministic:
+            return None
+        detail = self.divergence.describe() if self.divergence else "digest mismatch"
+        return Finding(
+            rule="DET001", severity=Severity.ERROR, path=where, line=0,
+            message="event-queue pop order differs between identical runs; "
+                    "the simulation is nondeterministic",
+            context=detail,
+        )
+
+
+def trace_run(action: Callable[[], object]) -> KernelTrace:
+    """Run ``action`` with the kernel trace hook installed."""
+    if Kernel.trace_hook is not None:
+        raise RuntimeError("a kernel trace is already being recorded")
+    trace = KernelTrace()
+    Kernel.trace_hook = trace.record
+    try:
+        action()
+    finally:
+        Kernel.trace_hook = None
+    return trace
+
+
+def _diff(first: KernelTrace, second: KernelTrace) -> Optional[Divergence]:
+    limit = max(len(first.entries), len(second.entries))
+    for index in range(limit):
+        left = first.entries[index] if index < len(first.entries) else None
+        right = second.entries[index] if index < len(second.entries) else None
+        if left != right:
+            lo = max(0, index - 3)
+            context = [
+                (first.entries[i] if i < len(first.entries) else None,
+                 second.entries[i] if i < len(second.entries) else None)
+                for i in range(lo, index)
+            ]
+            return Divergence(index=index, first=left, second=right, context=context)
+    return None
+
+
+def check_determinism(action: Callable[[], object], runs: int = 2) -> DeterminismReport:
+    """Run ``action`` ``runs`` times and compare scheduler traces.
+
+    ``action`` must build a *fresh* simulation each call (a shared kernel
+    would legitimately continue, not repeat).
+    """
+    if runs < 2:
+        raise ValueError("need at least two runs to compare")
+    traces = [trace_run(action) for _ in range(runs)]
+    divergence = None
+    for other in traces[1:]:
+        divergence = _diff(traces[0], other)
+        if divergence is not None:
+            break
+    return DeterminismReport(
+        digests=[trace.digest() for trace in traces],
+        lengths=[len(trace) for trace in traces],
+        divergence=divergence,
+    )
+
+
+def check_script_determinism(path: str, runs: int = 2) -> DeterminismReport:
+    """Execute a script (e.g. ``examples/quickstart.py``) ``runs`` times,
+    stdout suppressed, and compare the kernel traces."""
+
+    def action():
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(path, run_name="__main__")
+
+    return check_determinism(action, runs=runs)

@@ -1,0 +1,16 @@
+"""Built-in VP-aware lint rules.
+
+Importing this package registers every rule with the engine:
+
+========  =====================================================================
+RPR001    wall-clock / unseeded randomness in simulation paths
+RPR002    blocking TLM transport outside SC_THREAD context
+RPR003    mutable default arguments; set-iteration order dependence in kernel code
+RPR004    incomplete ``SimulateAction`` handling on ``SimulateResult`` consumers
+RPR005    overlapping constant address ranges passed to ``Router.map``
+========  =====================================================================
+"""
+
+from . import addrmap, blocking, mutable_defaults, simresult, wallclock  # noqa: F401
+
+__all__ = ["addrmap", "blocking", "mutable_defaults", "simresult", "wallclock"]

@@ -1,0 +1,165 @@
+"""RPR005 — statically-overlapping ``Router.map`` address ranges.
+
+``Router.map`` raises on overlap at *runtime*, but a platform that only
+gets constructed on a particular config (e.g. 8-core GICC banks) hides the
+error until that config runs.  This rule constant-folds the ``start``/``end``
+arguments of every ``<router>.map(start, end, …)`` call and checks, per
+function scope and per router expression, that the foldable ranges neither
+invert nor overlap.
+
+Folding resolves module-level and class-level integer constants across the
+*entire* scanned file set (prescan pass), so ``vp/platform.py`` can use
+``MemoryMap.UART_BASE`` from ``vp/config.py`` and ``GICD_SIZE`` from
+``models/gic.py``.  Anything unresolvable (function calls, config fields,
+loop variables) is skipped rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine import LintContext, Rule, SourceModule, register
+from ..findings import Finding, Severity
+
+_SHARED_KEY = "RPR005.constants"
+#: names whose definitions differ across files — never resolved
+_AMBIGUOUS = object()
+
+
+def _collect_constants(table: Dict[str, object], module: SourceModule) -> None:
+    """Record module-level NAME = <expr> and class-level CLASS.NAME = <expr>."""
+
+    def record(key: str, value: ast.expr) -> None:
+        existing = table.get(key)
+        if existing is None:
+            table[key] = value
+        elif existing is not _AMBIGUOUS and ast.dump(existing) != ast.dump(value):
+            table[key] = _AMBIGUOUS
+
+    for statement in module.tree.body:
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1 \
+                and isinstance(statement.targets[0], ast.Name):
+            record(statement.targets[0].id, statement.value)
+        elif isinstance(statement, ast.ClassDef):
+            for inner in statement.body:
+                if isinstance(inner, ast.Assign) and len(inner.targets) == 1 \
+                        and isinstance(inner.targets[0], ast.Name):
+                    record(f"{statement.name}.{inner.targets[0].id}", inner.value)
+
+
+class _Folder:
+    """Best-effort integer constant folding against the global table."""
+
+    def __init__(self, table: Dict[str, object]):
+        self.table = table
+        self._resolving: set = set()
+
+    def fold(self, node: ast.expr) -> Optional[int]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            inner = self.fold(node.operand)
+            return None if inner is None else -inner
+        if isinstance(node, ast.BinOp):
+            left, right = self.fold(node.left), self.fold(node.right)
+            if left is None or right is None:
+                return None
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.LShift):
+                return left << right
+            if isinstance(node.op, ast.BitOr):
+                return left | right
+            if isinstance(node.op, ast.FloorDiv) and right != 0:
+                return left // right
+            return None
+        key = None
+        if isinstance(node, ast.Name):
+            key = node.id
+        elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            key = f"{node.value.id}.{node.attr}"
+        if key is None or key in self._resolving:
+            return None
+        definition = self.table.get(key)
+        if definition is None and "." in key:
+            definition = self.table.get(key.split(".", 1)[1])
+        if definition is None or definition is _AMBIGUOUS:
+            return None
+        self._resolving.add(key)
+        try:
+            return self.fold(definition)
+        finally:
+            self._resolving.discard(key)
+
+
+def _walk_scope(scope: ast.AST):
+    """Yield nodes belonging to this scope, not descending into nested defs."""
+    pending = list(ast.iter_child_nodes(scope))
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AddressMapOverlapRule(Rule):
+    rule_id = "RPR005"
+    title = "overlapping static Router.map address ranges"
+    severity = Severity.ERROR
+
+    def prescan(self, ctx: LintContext, module: SourceModule) -> None:
+        table = ctx.shared.setdefault(_SHARED_KEY, {})
+        _collect_constants(table, module)
+
+    def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        folder = _Folder(ctx.shared.get(_SHARED_KEY, {}))
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                continue
+            # map calls grouped per router receiver expression
+            ranges: Dict[str, List[Tuple[int, int, ast.Call, str]]] = {}
+            for node in _walk_scope(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute) and func.attr == "map"):
+                    continue
+                if len(node.args) < 2:
+                    continue
+                receiver = ast.unparse(func.value)
+                start = folder.fold(node.args[0])
+                end = folder.fold(node.args[1])
+                if start is None or end is None:
+                    continue  # not statically known; runtime check covers it
+                label = ""
+                for keyword in node.keywords:
+                    if keyword.arg == "name" and isinstance(keyword.value, ast.Constant):
+                        label = str(keyword.value.value)
+                if start < 0 or end < start:
+                    yield self.finding(
+                        module, node,
+                        f"Router.map range [0x{start:x}, 0x{end:x}] is "
+                        + ("negative" if start < 0 else "inverted (end < start)"),
+                        context=label,
+                    )
+                    continue
+                ranges.setdefault(receiver, []).append((start, end, node, label))
+            for receiver, entries in ranges.items():
+                entries.sort(key=lambda e: (e[0], e[2].lineno))
+                for (s1, e1, _n1, l1), (s2, e2, n2, l2) in zip(entries, entries[1:]):
+                    if s2 <= e1:
+                        yield self.finding(
+                            module, n2,
+                            f"address range [0x{s2:x}, 0x{e2:x}] "
+                            f"({l2 or 'unnamed'}) overlaps [0x{s1:x}, 0x{e1:x}] "
+                            f"({l1 or 'unnamed'}) on router {receiver!r}; "
+                            "Router.map will raise at construction time",
+                        )

@@ -1,0 +1,110 @@
+"""RPR002 — no blocking transport outside SC_THREAD context.
+
+``b_transport`` (and the socket convenience wrappers built on it) may only
+run inside the dynamic extent of an SC_THREAD: the target is allowed to
+consume simulated time, and only a kernel process can realize that time by
+yielding.  Two contexts are *provably not* SC_THREAD context and are
+flagged statically:
+
+* module top-level code, and
+* elaboration-phase methods (``__init__``, ``end_of_elaboration``,
+  ``start_of_simulation``) — at elaboration time the kernel has not started,
+  so there is no process to account the annotated delay to.
+
+Debug transport (``transport_dbg``) and DMI queries
+(``get_direct_mem_ptr``) are timing-free by contract and stay legal
+everywhere — the platform queries DMI from its constructor on purpose.
+``time.sleep`` is additionally flagged in *any* context: a cooperative
+single-threaded kernel must never block the host thread.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import LintContext, Rule, SourceModule, register
+from ..findings import Finding, Severity
+
+#: initiator-side calls that consume simulated time
+_BLOCKING_ATTRS = {"b_transport", "sync_wait"}
+#: methods that run before / outside simulation
+_ELABORATION_METHODS = {"__init__", "end_of_elaboration", "start_of_simulation"}
+
+
+def _is_generator(func: ast.AST) -> bool:
+    """Does this function contain a yield of its own (ignoring nested defs)?"""
+    pending = list(ast.iter_child_nodes(func))
+    while pending:
+        node = pending.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class BlockingTransportRule(Rule):
+    rule_id = "RPR002"
+    title = "blocking TLM transport outside SC_THREAD context"
+    severity = Severity.ERROR
+
+    @staticmethod
+    def _blocking_call(node: ast.Call) -> str:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _BLOCKING_ATTRS:
+            return func.attr
+        return ""
+
+    @staticmethod
+    def _is_time_sleep(node: ast.Call) -> bool:
+        func = node.func
+        return (isinstance(func, ast.Attribute) and func.attr == "sleep"
+                and isinstance(func.value, ast.Name) and func.value.id == "time")
+
+    def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        # Build a map from every node to its nearest enclosing function.
+        parents = {}
+        for parent in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+
+        def enclosing_function(node: ast.AST) -> Optional[ast.FunctionDef]:
+            current = parents.get(node)
+            while current is not None:
+                if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    return current
+                current = parents.get(current)
+            return None
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_time_sleep(node):
+                yield self.finding(
+                    module, node,
+                    "time.sleep blocks the cooperative kernel's host thread; "
+                    "yield a SimTime wait instead",
+                )
+                continue
+            blocked = self._blocking_call(node)
+            if not blocked:
+                continue
+            owner = enclosing_function(node)
+            if owner is None:
+                yield self.finding(
+                    module, node,
+                    f"{blocked}() at module top level runs outside any "
+                    "SC_THREAD; blocking transport needs a kernel process "
+                    "to realize its annotated delay",
+                )
+            elif owner.name in _ELABORATION_METHODS and not _is_generator(owner):
+                yield self.finding(
+                    module, node,
+                    f"{blocked}() inside {owner.name}() runs during "
+                    "elaboration, outside SC_THREAD context; use "
+                    "transport_dbg/get_direct_mem_ptr for elaboration-time "
+                    "access or move the call into a process",
+                )

@@ -1,0 +1,113 @@
+"""RPR003 — mutable default arguments and set-iteration order dependence.
+
+Two classic Python nondeterminism sources, both fatal in a simulator that
+promises bit-for-bit reproducible runs:
+
+* A mutable default argument (``def f(x=[])``) is created once per process
+  and shared across calls — state leaks between otherwise independent
+  simulations (two ``Kernel`` instances suddenly share a list).
+* Iterating a ``set`` yields elements in hash order, which for ``str`` keys
+  varies between interpreter invocations (hash randomization) and for
+  ``id()``-keyed members varies between runs.  In kernel/scheduler code the
+  iteration order *is* the event-queue pop order, so this silently breaks
+  determinism.  Sets used only for membership tests are fine; iteration is
+  restricted to the deterministic-core directories (``systemc``, ``tlm``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import LintContext, Rule, SourceModule, register
+from ..findings import Finding, Severity
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+#: directories whose iteration order feeds scheduling decisions
+_KERNEL_DIRS = ("systemc", "tlm")
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+def _set_bound_names(tree: ast.Module) -> Set[str]:
+    """Names (locals and ``self.<attr>`` attrs) bound to a set in this module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        is_set = isinstance(value, ast.Set) or (
+            isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset"))
+        if not is_set:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+    return names
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "RPR003"
+    title = "mutable default argument / set-iteration order dependence"
+    severity = Severity.ERROR
+
+    def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        # (a) mutable default arguments, anywhere.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {name}(); the object is "
+                        "shared across calls and leaks state between "
+                        "simulations — default to None and create it inside",
+                    )
+        # (b) set iteration in deterministic-core code.
+        if not module.in_package_dir(*_KERNEL_DIRS):
+            return
+        set_names = _set_bound_names(module.tree)
+
+        def iterates_set(iterable: ast.expr) -> str:
+            if isinstance(iterable, ast.Set):
+                return "a set literal"
+            if (isinstance(iterable, ast.Call) and isinstance(iterable.func, ast.Name)
+                    and iterable.func.id in ("set", "frozenset")):
+                return f"{iterable.func.id}(...)"
+            if isinstance(iterable, ast.Name) and iterable.id in set_names:
+                return f"set {iterable.id!r}"
+            if isinstance(iterable, ast.Attribute) and iterable.attr in set_names:
+                return f"set attribute {iterable.attr!r}"
+            return ""
+
+        for node in ast.walk(module.tree):
+            iterables = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                what = iterates_set(iterable)
+                if what:
+                    yield self.finding(
+                        module, iterable,
+                        f"iteration over {what} in kernel/scheduler code is "
+                        "hash-order dependent and breaks run-to-run "
+                        "determinism; iterate a list (or sort first)",
+                    )

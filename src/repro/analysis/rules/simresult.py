@@ -1,0 +1,106 @@
+"""RPR004 — every ``SimulateResult`` consumer handles all ``SimulateAction``s.
+
+The processor loop dispatches on ``result.action``; a consumer that forgets
+a variant (say ``BREAK``) silently treats a debugger stop as ``CONTINUE``
+and keeps executing.  The rule finds the enum's members *statically* (so it
+follows the source of truth in ``vcml/processor.py``, wherever the scan
+root is) and then checks every function that compares ``<x>.action``
+against ``SimulateAction.<member>``: all members must be mentioned, except
+that exactly one may be the implicit fall-through default (``CONTINUE`` in
+the stock loop).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..engine import LintContext, Rule, SourceModule, register
+from ..findings import Finding, Severity
+
+_SHARED_KEY = "RPR004.members"
+_ENUM_NAME = "SimulateAction"
+
+
+def _enum_members(class_node: ast.ClassDef) -> List[str]:
+    members = []
+    for statement in class_node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    members.append(target.id)
+    return members
+
+
+def _functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class SimulateActionCoverageRule(Rule):
+    rule_id = "RPR004"
+    title = "incomplete SimulateAction handling"
+    severity = Severity.ERROR
+
+    def prescan(self, ctx: LintContext, module: SourceModule) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == _ENUM_NAME:
+                ctx.shared[_SHARED_KEY] = _enum_members(node)
+
+    @staticmethod
+    def _mentioned_members(func: ast.AST) -> tuple:
+        """(handled member names, line of first comparison) for one function."""
+        handled: Set[str] = set()
+        first_line = 0
+
+        def collect(expr: ast.expr) -> None:
+            nonlocal first_line
+            # SimulateAction.<member>
+            if (isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name)
+                    and expr.value.id == _ENUM_NAME):
+                handled.add(expr.attr)
+
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Compare):
+                continue
+            sides = [node.left] + list(node.comparators)
+            # Only count comparisons that involve something ".action"-shaped
+            # on one side, so constructor calls don't trigger the rule.
+            involves_action = any(
+                isinstance(side, ast.Attribute) and side.attr == "action"
+                for side in sides)
+            if not involves_action:
+                continue
+            if not first_line:
+                first_line = node.lineno
+            for side in sides:
+                collect(side)
+                if isinstance(side, (ast.Tuple, ast.List, ast.Set)):
+                    for element in side.elts:
+                        collect(element)
+        return handled, first_line
+
+    def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        members = ctx.shared.get(_SHARED_KEY)
+        if not members:
+            return  # enum not in the scanned file set; nothing to enforce
+        all_members = set(members)
+        for func in _functions(module.tree):
+            handled, line = self._mentioned_members(func)
+            if not handled:
+                continue
+            missing = sorted(all_members - handled)
+            # One unhandled variant is the legitimate fall-through default.
+            if len(missing) <= 1:
+                continue
+            anchor = ast.copy_location(ast.Pass(), func)
+            anchor.lineno = line or func.lineno
+            yield self.finding(
+                module, anchor,
+                f"{func.name}() dispatches on SimulateResult.action but only "
+                f"handles {sorted(handled)}; unhandled variants {missing} "
+                "would silently fall through — handle all but one "
+                f"{_ENUM_NAME} variant explicitly",
+            )

@@ -1,0 +1,93 @@
+"""RPR001 — no host wall-clock or unseeded randomness in simulation paths.
+
+The paper's semantics claim (parallel mode changes performance, not
+behaviour) requires runs to be bit-for-bit reproducible.  Reading the host
+clock or the process-global ``random`` state inside simulation code breaks
+that silently.  Host-time *modeling* is fine — it lives in ``repro.host``
+(the ledger), and real wall-clock measurement goes through
+``repro.host.wallclock`` — so files under a ``host/`` package directory are
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import LintContext, Rule, SourceModule, register
+from ..findings import Finding, Severity
+
+#: attribute calls on these modules that read host time / entropy
+_TIME_FUNCTIONS = {
+    "time": {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+             "monotonic_ns", "process_time", "process_time_ns"},
+    "datetime": {"now", "utcnow", "today"},
+    "uuid": {"uuid1", "uuid4"},
+    "os": {"urandom", "getrandom"},
+    "secrets": {"token_bytes", "token_hex", "token_urlsafe", "randbelow",
+                "randbits", "choice"},
+}
+#: process-global random functions (seeded instances via random.Random(seed) are fine)
+_RANDOM_FUNCTIONS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices", "shuffle",
+    "sample", "gauss", "random_bytes", "getrandbits", "betavariate", "normalvariate",
+}
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "RPR001"
+    title = "wall-clock or unseeded randomness in simulation path"
+    severity = Severity.ERROR
+
+    #: package directories allowed to read the host clock
+    allowed_dirs = ("host",)
+
+    def _bad_call(self, node: ast.Call) -> str:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or not isinstance(func.value, ast.Name):
+            return ""
+        module_name, attr = func.value.id, func.attr
+        if attr in _TIME_FUNCTIONS.get(module_name, ()):
+            return f"{module_name}.{attr}()"
+        if module_name == "random" and attr in _RANDOM_FUNCTIONS:
+            return f"random.{attr}()"
+        # datetime.datetime.now() style: datetime.<cls>.now()
+        if (isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "datetime"
+                and attr in _TIME_FUNCTIONS["datetime"]):
+            return f"datetime.{func.value.attr}.{attr}()"
+        return ""
+
+    @staticmethod
+    def _bare_imports(module: SourceModule) -> Set[str]:
+        """Names imported directly from nondeterministic modules
+        (``from time import perf_counter``)."""
+        names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in ("time", "random"):
+                for alias in node.names:
+                    source = _TIME_FUNCTIONS.get(node.module, set()) | (
+                        _RANDOM_FUNCTIONS if node.module == "random" else set())
+                    if alias.name in source:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        if module.in_package_dir(*self.allowed_dirs):
+            return
+        bare = self._bare_imports(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            offender = self._bad_call(node)
+            if not offender and isinstance(node.func, ast.Name) and node.func.id in bare:
+                offender = f"{node.func.id}()"
+            if offender:
+                yield self.finding(
+                    module, node,
+                    f"simulation path reads host time/entropy via {offender}; "
+                    "only repro.host may touch the wall clock "
+                    "(route measurements through repro.host.wallclock)",
+                )

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..host.wallclock import elapsed_since, wall_clock
 from ..systemc.time import SimTime
 from ..vp.config import VpConfig
 from ..vp.platform import build_platform
@@ -56,9 +56,9 @@ def run_workload(
     vp = build_platform(kind, config, software)
     if stop_on_boot:
         vp.simctl.on_boot_done = lambda _t: vp.sim.stop()
-    started = time.perf_counter()
+    started = wall_clock()
     end_time = vp.run(SimTime.seconds(max_sim_seconds))
-    py_runtime = time.perf_counter() - started
+    py_runtime = elapsed_since(started)
     finished = (vp.all_halted or vp.simctl.shutdown_requested
                 or (stop_on_boot and vp.simctl.boot_done_at is not None))
     if require_finish and not finished:

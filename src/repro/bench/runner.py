@@ -8,9 +8,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List
 
+from ..host.wallclock import elapsed_since, wall_clock
 from . import ablations, fig5, fig6, fig7  # noqa: F401  (register experiments)
 from .experiment import all_experiment_ids, get_experiment
 from .reporting import render_markdown, render_result
@@ -41,9 +41,9 @@ def main(argv: List[str] = None) -> int:
     failures = 0
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
-        started = time.perf_counter()
+        started = wall_clock()
         result = experiment.run(scale=args.scale)
-        elapsed = time.perf_counter() - started
+        elapsed = elapsed_since(started)
         if args.markdown:
             print(render_markdown(result))
         else:

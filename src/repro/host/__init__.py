@@ -11,6 +11,7 @@ from .params import (
     KvmCostParams,
     SimulationCostParams,
 )
+from .wallclock import elapsed_since, wall_clock
 
 __all__ = [
     "CoreKind",
@@ -26,4 +27,6 @@ __all__ = [
     "SimulationCostParams",
     "amd_ryzen_3900x",
     "apple_m2_pro",
+    "elapsed_since",
+    "wall_clock",
 ]

@@ -60,6 +60,12 @@ class SimulationStopped(Exception):
 class Kernel:
     """A single-threaded SystemC-like discrete-event scheduler."""
 
+    #: Optional observer called as ``trace_hook(kind, time_ps, name)`` for
+    #: every process step ("step") and method run ("method") the scheduler
+    #: dispatches.  Class-level so a checker can observe kernels it did not
+    #: create (see repro.analysis.determinism); must never mutate state.
+    trace_hook: Optional[Callable[[str, int, str], None]] = None
+
     def __init__(self):
         global _current_kernel
         self._now = SimTime.zero()
@@ -192,7 +198,10 @@ class Kernel:
         # Evaluation phase.
         while self._runnable or self._methods:
             while self._methods:
-                self._methods.popleft()._run()
+                method = self._methods.popleft()
+                if Kernel.trace_hook is not None:
+                    Kernel.trace_hook("method", self._now.picoseconds, method.name)
+                method._run()
             if not self._runnable:
                 break
             process = self._runnable.popleft()
@@ -201,6 +210,8 @@ class Kernel:
                 continue
             self._current_process = process
             try:
+                if Kernel.trace_hook is not None:
+                    Kernel.trace_hook("step", self._now.picoseconds, process.name)
                 process._step(self)
             finally:
                 self._current_process = None

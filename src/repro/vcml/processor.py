@@ -144,6 +144,16 @@ class Processor(Component):
         """Subclass hook: request the processor thread to end."""
         return False
 
+    def _invoke_simulate(self, cycles: int) -> SimulateResult:
+        """One counted backend call.
+
+        Single funnel between the loop and ``simulate()`` so instrumentation
+        (e.g. the quantum sanitizer in :mod:`repro.analysis.sanitize`) can
+        observe the granted budget next to the consumed cycles.
+        """
+        self.num_simulate_calls += 1
+        return self.simulate(cycles)
+
     # -- the simulation loop -------------------------------------------------------------
     def _processor_thread(self):
         while not self.halted and not self.wants_stop():
@@ -159,8 +169,7 @@ class Processor(Component):
             if cycles <= 0:
                 # Quantum finer than one clock cycle: force minimal progress.
                 cycles = 1
-            self.num_simulate_calls += 1
-            result = self.simulate(cycles)
+            result = self._invoke_simulate(cycles)
             self.total_cycles += result.cycles
             self.keeper.inc(self.cycles_to_time(result.cycles))
             if result.action is SimulateAction.HALT:

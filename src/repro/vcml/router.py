@@ -22,6 +22,16 @@ class AddressRange(NamedTuple):
     start: int
     end: int
 
+    def validate(self) -> "AddressRange":
+        """Reject inverted or negative ranges with a clear error."""
+        if self.start < 0:
+            raise ValueError(f"address range start 0x{self.start:x} is negative")
+        if self.end < self.start:
+            raise ValueError(
+                f"address range end 0x{self.end:x} < start 0x{self.start:x} (inverted)"
+            )
+        return self
+
     def contains(self, address: int, length: int = 1) -> bool:
         return self.start <= address and address + length - 1 <= self.end
 
@@ -59,9 +69,10 @@ class Router(Component):
     def map(self, start: int, end: int, target: TargetSocket, local_base: int = 0,
             name: str = "") -> None:
         """Route [start, end] to ``target``, rebased to ``local_base``."""
-        new_range = AddressRange(start, end)
-        if end < start:
-            raise ValueError(f"router {self.name!r}: end 0x{end:x} < start 0x{start:x}")
+        try:
+            new_range = AddressRange(start, end).validate()
+        except ValueError as exc:
+            raise ValueError(f"router {self.name!r}: {exc}") from None
         for mapping in self._mappings:
             if mapping.range.overlaps(new_range):
                 raise ValueError(

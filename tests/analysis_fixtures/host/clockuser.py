@@ -1,0 +1,6 @@
+"""Fixture: RPR001 must stay silent — files under host/ may read the clock."""
+import time
+
+
+def wall_clock() -> float:
+    return time.perf_counter()

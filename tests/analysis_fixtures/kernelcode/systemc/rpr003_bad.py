@@ -1,0 +1,15 @@
+"""Fixture: RPR003 must fire — mutable default + set iteration in kernel dir."""
+
+
+def spawn(name, watchers=[]):
+    watchers.append(name)
+    return watchers
+
+
+class Scheduler:
+    def __init__(self):
+        self._runnable = set()
+
+    def drain(self):
+        for process in self._runnable:       # hash-order pop: nondeterministic
+            process.step()

@@ -1,0 +1,24 @@
+"""Fixture: RPR003 must stay silent — None default, list iteration,
+set used only for membership."""
+
+
+def spawn(name, watchers=None):
+    if watchers is None:
+        watchers = []
+    watchers.append(name)
+    return watchers
+
+
+class Scheduler:
+    def __init__(self):
+        self._queue = []
+        self._queued = set()
+
+    def push(self, process):
+        if id(process) not in self._queued:   # membership test: fine
+            self._queued.add(id(process))
+            self._queue.append(process)
+
+    def drain(self):
+        for process in self._queue:           # list: insertion order
+            process.step()

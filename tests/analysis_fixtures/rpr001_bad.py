@@ -1,0 +1,11 @@
+"""Fixture: RPR001 must fire — wall clock + global random in a sim path."""
+import random
+import time
+from time import perf_counter
+
+
+def simulate_step():
+    started = time.time()
+    jitter = random.random()
+    fine = perf_counter()
+    return started + jitter + fine

@@ -1,0 +1,11 @@
+"""Fixture: RPR001 must stay silent — seeded RNG, no wall clock."""
+import random
+
+
+def simulate_step(seed: int) -> float:
+    rng = random.Random(seed)      # seeded instance: reproducible, allowed
+    return rng.random()
+
+
+def elapsed(start_ps: int, end_ps: int) -> int:
+    return end_ps - start_ps       # simulated time arithmetic only

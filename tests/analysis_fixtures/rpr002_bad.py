@@ -1,0 +1,14 @@
+"""Fixture: RPR002 must fire — blocking transport during elaboration."""
+import time
+
+
+class Peripheral:
+    def __init__(self, socket, payload, delay):
+        socket.b_transport(payload, delay)      # elaboration-time transport
+
+    def end_of_elaboration(self):
+        self.socket.b_transport(self.payload, self.delay)
+
+
+def poll_busy():
+    time.sleep(0.01)                            # blocks the cooperative kernel

@@ -1,0 +1,15 @@
+"""Fixture: RPR002 must stay silent — transport from SC_THREAD context."""
+
+
+class Cpu:
+    def __init__(self, socket):
+        self.socket = socket
+        # DMI queries and debug transport are timing-free: legal here.
+        self.dmi = socket.get_direct_mem_ptr(None)
+        socket.transport_dbg(None)
+
+    def thread(self):
+        delay = 0
+        while True:
+            delay = self.socket.b_transport(None, delay)
+            yield delay

@@ -1,0 +1,16 @@
+"""Fixture: RPR004 must fire — dispatcher misses two SimulateAction variants."""
+import enum
+
+
+class SimulateAction(enum.Enum):
+    CONTINUE = "continue"
+    WAIT_IRQ = "wait_irq"
+    HALT = "halt"
+    BREAK = "break"
+
+
+def run_loop(result):
+    if result.action is SimulateAction.HALT:
+        return "halted"
+    # WAIT_IRQ and BREAK silently fall through with CONTINUE
+    return "continue"

@@ -1,0 +1,20 @@
+"""Fixture: RPR004 must stay silent — all variants but the fall-through
+handled explicitly."""
+import enum
+
+
+class SimulateAction(enum.Enum):
+    CONTINUE = "continue"
+    WAIT_IRQ = "wait_irq"
+    HALT = "halt"
+    BREAK = "break"
+
+
+def run_loop(result):
+    if result.action is SimulateAction.HALT:
+        return "halted"
+    if result.action is SimulateAction.BREAK:
+        return "debugger"
+    if result.action == SimulateAction.WAIT_IRQ:
+        return "sleeping"
+    return "continue"                 # CONTINUE is the one fall-through

@@ -1,0 +1,11 @@
+"""Fixture: RPR005 must fire — constant-folded ranges overlap + inverted."""
+
+UART_BASE = 0x0904_0000
+RTC_BASE = UART_BASE + 0x8000          # inside the UART window below
+WINDOW = 0x1_0000
+
+
+def build(bus, uart, rtc, timer):
+    bus.map(UART_BASE, UART_BASE + WINDOW - 1, uart, name="uart")
+    bus.map(RTC_BASE, RTC_BASE + WINDOW - 1, rtc, name="rtc")
+    bus.map(0x9000, 0x8000, timer, name="timer")   # inverted

@@ -1,0 +1,27 @@
+"""Fixture: RPR005 must stay silent — disjoint windows, separate scopes,
+separate routers."""
+
+
+class MemoryMap:
+    UART_BASE = 0x0904_0000
+    RTC_BASE = 0x0905_0000
+    WINDOW = 0x1_0000
+
+
+def build(bus, uart, rtc):
+    bus.map(MemoryMap.UART_BASE, MemoryMap.UART_BASE + MemoryMap.WINDOW - 1,
+            uart, name="uart")
+    bus.map(MemoryMap.RTC_BASE, MemoryMap.RTC_BASE + MemoryMap.WINDOW - 1,
+            rtc, name="rtc")
+
+
+def build_other(other_bus, uart):
+    # Same window as build(): different function scope, different router.
+    other_bus.map(MemoryMap.UART_BASE, MemoryMap.UART_BASE + MemoryMap.WINDOW - 1,
+                  uart, name="uart")
+
+
+def build_dynamic(bus, devices, stride):
+    for index, device in enumerate(devices):
+        base = 0x1000 + index * stride       # not statically foldable: skipped
+        bus.map(base, base + stride - 1, device)

@@ -1,0 +1,137 @@
+"""Engine + CLI behaviour: self-lint cleanliness, JSON output, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, registered_rules
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding, Severity, summarize
+
+REPO = Path(__file__).parent.parent
+SRC = REPO / "src" / "repro"
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+# -- acceptance: the repo lints itself clean -------------------------------------
+
+def test_self_lint_is_clean():
+    findings = lint_paths([str(SRC)])
+    assert findings == [], "\n".join(finding.format() for finding in findings)
+
+
+def test_cli_self_lint_exits_zero(capsys):
+    assert main([str(SRC), "--fail-on-findings"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+# -- rule registry -----------------------------------------------------------------
+
+def test_all_five_vp_rules_registered():
+    assert set(registered_rules()) >= {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"}
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    output = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in output
+
+
+# -- output formats ----------------------------------------------------------------
+
+def test_cli_json_output_is_machine_readable(capsys):
+    exit_code = main([str(FIXTURES / "rpr001_bad.py"), "--json", "--select", "RPR001"])
+    assert exit_code == 0                      # no --fail-on-findings
+    document = json.loads(capsys.readouterr().out)
+    assert document["mode"] == "lint"
+    assert document["total"] == len(document["findings"]) > 0
+    first = document["findings"][0]
+    assert first["rule"] == "RPR001"
+    assert first["severity"] == "error"
+    assert first["path"].endswith("rpr001_bad.py")
+    assert isinstance(first["line"], int) and first["line"] > 0
+    assert document["counts"] == {"RPR001": document["total"]}
+
+
+def test_cli_fail_on_findings_exit_code():
+    assert main([str(FIXTURES / "rpr001_bad.py"), "--select", "RPR001",
+                 "--fail-on-findings"]) == 1
+
+
+def test_cli_ignore_filters_rules():
+    assert main([str(FIXTURES / "rpr001_bad.py"), "--ignore", "RPR001",
+                 "--fail-on-findings"]) == 0
+
+
+# -- findings model ----------------------------------------------------------------
+
+def test_finding_format_and_json_round_trip():
+    finding = Finding(rule="RPR001", severity=Severity.ERROR, path="a/b.py",
+                      line=7, message="nope", context="extra")
+    assert finding.format() == "a/b.py:7: error RPR001: nope [extra]"
+    assert finding.to_json()["context"] == "extra"
+    assert summarize([finding, finding]) == {"RPR001": 2}
+
+
+def test_syntax_error_becomes_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    findings = lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert findings[0].rule == "RPR000"
+    assert "syntax error" in findings[0].message
+
+
+# -- sanitize-run / determinism-run CLI modes ---------------------------------------
+
+def test_cli_sanitize_run_quickstart_is_clean(capsys):
+    quickstart = REPO / "examples" / "quickstart.py"
+    assert main(["--sanitize-run", str(quickstart), "--fail-on-findings"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_sanitize_run_reports_seeded_violation(tmp_path, capsys):
+    script = tmp_path / "seeded.py"
+    script.write_text(
+        "from repro.systemc.kernel import Kernel\n"
+        "from repro.systemc.time import SimTime\n"
+        "from repro.tlm.payload import GenericPayload\n"
+        "from repro.vcml.memory import Memory\n"
+        "kernel = Kernel()\n"
+        "memory = Memory('ram', 64)\n"
+        "memory.in_socket.b_transport(GenericPayload.read(0, 4), SimTime.zero())\n"
+    )
+    assert main(["--sanitize-run", str(script), "--fail-on-findings"]) == 1
+    assert "SAN002" in capsys.readouterr().out
+
+
+def test_cli_determinism_run_quickstart(capsys):
+    quickstart = REPO / "examples" / "quickstart.py"
+    assert main(["--determinism-run", str(quickstart), "--fail-on-findings"]) == 0
+    assert "trace digests" in capsys.readouterr().out
+
+
+def test_cli_rejects_missing_script():
+    with pytest.raises(SystemExit):
+        main(["--sanitize-run", "/no/such/script.py"])
+
+
+def test_cli_rejects_unknown_rule():
+    with pytest.raises(SystemExit):
+        main(["--select", "RPR999"])
+
+
+def test_cli_rejects_missing_lint_path():
+    # A typo'd path must not silently report "no findings" in CI.
+    with pytest.raises(SystemExit):
+        main(["/no/such/lint/dir", "--fail-on-findings"])
+
+
+def test_cli_rejects_single_run_determinism():
+    with pytest.raises(SystemExit):
+        main(["--determinism-run", str(REPO / "examples" / "quickstart.py"),
+              "--runs", "1"])

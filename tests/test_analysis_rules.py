@@ -1,0 +1,133 @@
+"""Per-rule positive/negative fixture tests for the lint engine."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def rules_fired(*paths, select=None):
+    findings = lint_paths([str(p) for p in paths], select=select)
+    return findings, {finding.rule for finding in findings}
+
+
+# -- RPR001: wall clock / unseeded randomness -----------------------------------
+
+def test_rpr001_fires_on_wall_clock_and_global_random():
+    findings, rules = rules_fired(FIXTURES / "rpr001_bad.py", select=["RPR001"])
+    assert rules == {"RPR001"}
+    offenders = " ".join(finding.message for finding in findings)
+    assert "time.time()" in offenders
+    assert "random.random()" in offenders
+    assert "perf_counter()" in offenders          # from-import alias form
+    assert len(findings) == 3
+
+
+def test_rpr001_silent_on_seeded_rng_and_sim_time():
+    _, rules = rules_fired(FIXTURES / "rpr001_good.py", select=["RPR001"])
+    assert rules == set()
+
+
+def test_rpr001_allows_host_package_dir():
+    # host/clockuser.py reads perf_counter but lives under host/: exempt.
+    tree_findings = lint_paths([str(FIXTURES)], select=["RPR001"])
+    assert not any("clockuser" in finding.path for finding in tree_findings)
+
+
+# -- RPR002: blocking transport outside SC_THREAD -------------------------------
+
+def test_rpr002_fires_on_elaboration_transport_and_sleep():
+    findings, rules = rules_fired(FIXTURES / "rpr002_bad.py", select=["RPR002"])
+    assert rules == {"RPR002"}
+    messages = " ".join(finding.message for finding in findings)
+    assert "__init__" in messages
+    assert "end_of_elaboration" in messages
+    assert "time.sleep" in messages
+    assert len(findings) == 3
+
+
+def test_rpr002_silent_on_thread_context_and_debug_transport():
+    _, rules = rules_fired(FIXTURES / "rpr002_good.py", select=["RPR002"])
+    assert rules == set()
+
+
+# -- RPR003: mutable defaults / set iteration ------------------------------------
+
+def test_rpr003_fires_on_mutable_default_and_set_iteration():
+    findings, rules = rules_fired(
+        FIXTURES / "kernelcode", select=["RPR003"])
+    bad = [finding for finding in findings if "rpr003_bad" in finding.path]
+    assert rules == {"RPR003"}
+    assert any("mutable default" in finding.message for finding in bad)
+    assert any("hash-order" in finding.message for finding in bad)
+    assert len(bad) == 2
+
+
+def test_rpr003_silent_on_none_default_and_membership_sets():
+    findings = lint_paths([str(FIXTURES / "kernelcode")], select=["RPR003"])
+    assert not any("rpr003_good" in finding.path for finding in findings)
+
+
+# -- RPR004: SimulateAction coverage ---------------------------------------------
+
+def test_rpr004_fires_when_variants_missing():
+    findings, rules = rules_fired(FIXTURES / "rpr004_bad.py", select=["RPR004"])
+    assert rules == {"RPR004"}
+    assert "BREAK" in findings[0].message and "WAIT_IRQ" in findings[0].message
+
+
+def test_rpr004_silent_with_single_fallthrough():
+    _, rules = rules_fired(FIXTURES / "rpr004_good.py", select=["RPR004"])
+    assert rules == set()
+
+
+# -- RPR005: overlapping static address maps --------------------------------------
+
+def test_rpr005_fires_on_overlap_and_inverted_range():
+    findings, rules = rules_fired(FIXTURES / "rpr005_bad.py", select=["RPR005"])
+    assert rules == {"RPR005"}
+    messages = " ".join(finding.message for finding in findings)
+    assert "overlaps" in messages
+    assert "inverted" in messages
+    assert len(findings) == 2
+
+
+def test_rpr005_silent_on_disjoint_windows_and_separate_scopes():
+    _, rules = rules_fired(FIXTURES / "rpr005_good.py", select=["RPR005"])
+    assert rules == set()
+
+
+def test_rpr005_folds_constants_across_files():
+    # The platform's map calls use MemoryMap/GICD_SIZE constants defined in
+    # other modules; linting the real source tree must resolve them and
+    # still report nothing (the map is disjoint by construction).
+    src = Path(__file__).parent.parent / "src" / "repro"
+    findings = lint_paths([str(src)], select=["RPR005"])
+    assert findings == []
+
+
+# -- suppression comments ----------------------------------------------------------
+
+def test_suppression_comment_silences_one_line(tmp_path):
+    source = (
+        "import time\n"
+        "def f():\n"
+        "    return time.time()  # repro: ignore[RPR001]\n"
+        "def g():\n"
+        "    return time.time()\n"
+    )
+    path = tmp_path / "suppressed.py"
+    path.write_text(source)
+    findings = lint_paths([str(path)], select=["RPR001"])
+    assert len(findings) == 1
+    assert findings[0].line == 5
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_paths([str(FIXTURES)], select=["RPR999"])

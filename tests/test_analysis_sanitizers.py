@@ -1,0 +1,168 @@
+"""Runtime sanitizer tests: each seeded violation must be caught, and the
+equivalent clean sequence must stay silent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitize import SanitizerScope, sanitized
+from repro.systemc.kernel import Kernel
+from repro.systemc.time import SimTime
+from repro.tlm.dmi import DmiAccess, DmiManager, DmiRegion
+from repro.tlm.payload import GenericPayload
+from repro.tlm.quantum import GlobalQuantum
+from repro.tlm.sockets import TargetSocket
+from repro.vcml.memory import Memory
+from repro.vcml.processor import Processor, SimulateAction, SimulateResult
+
+
+def rules_of(scope: SanitizerScope):
+    return [finding.rule for finding in scope.findings]
+
+
+# -- SAN001: reentrant b_transport ------------------------------------------------
+
+def test_reentrant_b_transport_detected():
+    with sanitized() as scope:
+        socket_holder = {}
+
+        def transport(payload, delay):
+            if payload.address == 0:
+                payload.address = 4
+                return socket_holder["sock"].b_transport(payload, delay)
+            payload.set_ok()
+            return delay
+
+        socket_holder["sock"] = TargetSocket("loopy", transport_fn=transport)
+        socket_holder["sock"].b_transport(GenericPayload.read(0, 4), SimTime.zero())
+    assert rules_of(scope) == ["SAN001"]
+    assert scope.findings[0].path == "loopy"
+
+
+def test_nested_transport_through_different_sockets_is_clean(kernel):
+    # Router-style forwarding (socket A -> socket B) must not trip SAN001.
+    with sanitized() as scope:
+        memory = Memory("ram", 64)
+        memory.load(0, bytes(16))
+
+        def forward(payload, delay):
+            return memory.in_socket.b_transport(payload, delay)
+
+        front = TargetSocket("front", transport_fn=forward)
+        front.b_transport(GenericPayload.read(0, 4), SimTime.zero())
+    assert rules_of(scope) == []
+
+
+# -- SAN002: uninitialized memory reads -------------------------------------------
+
+def test_uninitialized_read_detected(kernel):
+    with sanitized() as scope:
+        memory = Memory("ram", 64)
+        memory.in_socket.b_transport(
+            GenericPayload.write(0, b"\xAA" * 4), SimTime.zero())
+        # Covered read: clean.
+        memory.in_socket.b_transport(GenericPayload.read(0, 4), SimTime.zero())
+        assert rules_of(scope) == []
+        # Read past the written window: uninitialized.
+        memory.in_socket.b_transport(GenericPayload.read(8, 4), SimTime.zero())
+    assert rules_of(scope) == ["SAN002"]
+    assert "0x8" in scope.findings[0].message
+
+
+def test_load_and_dmi_grant_mark_memory_initialized(kernel):
+    with sanitized() as scope:
+        loaded = Memory("loaded", 32)
+        loaded.load(0, bytes(range(16)))
+        loaded.in_socket.b_transport(GenericPayload.read(4, 8), SimTime.zero())
+        assert rules_of(scope) == []
+
+        granted = Memory("granted", 32)
+        granted.in_socket.get_direct_mem_ptr(GenericPayload.read(0, 4))
+        # DMI writes are invisible; the window must now count as initialized.
+        granted.in_socket.b_transport(GenericPayload.read(16, 8), SimTime.zero())
+        assert rules_of(scope) == []
+
+
+# -- SAN003: DMI use-after-invalidate ----------------------------------------------
+
+def test_dmi_use_after_invalidate_detected(kernel):
+    with sanitized() as scope:
+        memory = Memory("ram", 64)
+        region = memory.in_socket.get_direct_mem_ptr(GenericPayload.read(0, 8))
+        assert region is not None
+        region.view(0, 8)                     # still valid: clean
+        assert rules_of(scope) == []
+        memory.invalidate_dmi()
+        region.view(0, 8)                     # stale grant
+    assert rules_of(scope) == ["SAN003"]
+    assert "use-after-invalidate" in scope.findings[0].message
+
+
+def test_dmi_manager_invalidate_marks_regions_stale():
+    with sanitized() as scope:
+        backing = bytearray(16)
+        manager = DmiManager()
+        region = manager.add(DmiRegion(0, 15, memoryview(backing), DmiAccess.READ_WRITE))
+        region.view(0, 4)
+        assert rules_of(scope) == []
+        manager.invalidate(0, 7)
+        region.view(0, 4)
+    assert rules_of(scope) == ["SAN003"]
+
+
+def test_refreshed_dmi_grant_is_clean(kernel):
+    with sanitized() as scope:
+        memory = Memory("ram", 64)
+        first = memory.in_socket.get_direct_mem_ptr(GenericPayload.read(0, 8))
+        memory.invalidate_dmi()
+        fresh = memory.in_socket.get_direct_mem_ptr(GenericPayload.read(0, 8))
+        fresh.view(0, 8)                      # re-requested after invalidate
+    assert rules_of(scope) == []
+
+
+# -- SAN004: quantum-budget violations ---------------------------------------------
+
+class _GreedyCpu(Processor):
+    """Backend that consumes more cycles than the quantum granted it."""
+
+    def __init__(self, overrun: int, **kwargs):
+        super().__init__("greedy", GlobalQuantum(SimTime.us(1)), **kwargs)
+        self.overrun = overrun
+
+    def simulate(self, cycles: int) -> SimulateResult:
+        return SimulateResult(cycles + self.overrun, SimulateAction.CONTINUE)
+
+
+def test_quantum_overrun_detected(kernel):
+    with sanitized() as scope:
+        cpu = _GreedyCpu(overrun=250)
+        result = cpu._invoke_simulate(1000)
+    assert result.cycles == 1250
+    assert rules_of(scope) == ["SAN004"]
+    assert "granted 1000" in scope.findings[0].message
+    assert scope.findings[0].context == "overrun=250"
+
+
+def test_exact_budget_consumption_is_clean(kernel):
+    with sanitized() as scope:
+        cpu = _GreedyCpu(overrun=0)
+        cpu._invoke_simulate(1000)
+    assert rules_of(scope) == []
+
+
+# -- scope mechanics ----------------------------------------------------------------
+
+def test_patches_are_restored_on_exit():
+    before = (Memory.__dict__["_b_transport"], TargetSocket.__dict__["b_transport"],
+              DmiRegion.__dict__["view"], Processor.__dict__["_invoke_simulate"])
+    with sanitized():
+        assert Memory.__dict__["_b_transport"] is not before[0]
+    after = (Memory.__dict__["_b_transport"], TargetSocket.__dict__["b_transport"],
+             DmiRegion.__dict__["view"], Processor.__dict__["_invoke_simulate"])
+    assert before == after
+
+
+def test_scopes_do_not_nest():
+    with sanitized():
+        with pytest.raises(RuntimeError, match="already active"):
+            SanitizerScope().__enter__()

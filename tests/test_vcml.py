@@ -248,8 +248,22 @@ class TestRouter:
     def test_backwards_range_rejected(self):
         router, *_ = self.build()
         extra = Memory("c", 0x100)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="inverted"):
             router.map(0x5000, 0x4000, extra.in_socket)
+
+    def test_negative_range_rejected(self):
+        router, *_ = self.build()
+        extra = Memory("c", 0x100)
+        with pytest.raises(ValueError, match="negative"):
+            router.map(-0x100, 0xFF, extra.in_socket)
+
+    def test_address_range_validate(self):
+        from repro.vcml.router import AddressRange
+        assert AddressRange(0, 0xFF).validate() == AddressRange(0, 0xFF)
+        with pytest.raises(ValueError, match="inverted"):
+            AddressRange(0x10, 0x0F).validate()
+        with pytest.raises(ValueError, match="negative"):
+            AddressRange(-1, 0x0F).validate()
 
     def test_payload_address_restored_after_transport(self):
         _, _, _, initiator = self.build()
