@@ -9,7 +9,14 @@ Builds the smallest possible end-to-end setup:
 3. run the simulation and inspect console output + performance counters.
 
 Run:  python examples/quickstart.py
+
+With ``REPRO_TELEMETRY`` set, the run is additionally instrumented with
+:mod:`repro.telemetry` (zero behaviour change) and writes a text run
+report plus a Perfetto-loadable Chrome trace into the directory the
+variable names (``REPRO_TELEMETRY=1`` uses the current directory).
 """
+
+import os
 
 from repro.arch import assemble
 from repro.systemc import SimTime
@@ -46,6 +53,12 @@ def main():
     config = VpConfig(num_cores=1, quantum=SimTime.us(100), parallel=False)
     vp = build_platform("aoa", config, software)
 
+    telemetry_dir = os.environ.get("REPRO_TELEMETRY")
+    telemetry = None
+    if telemetry_dir:
+        from repro.telemetry import enable_telemetry
+        telemetry = enable_telemetry(vp)
+
     end_time = vp.run(SimTime.ms(100))
 
     print(f"simulated time : {end_time}")
@@ -54,6 +67,19 @@ def main():
     print(f"modeled wall   : {vp.wall_time_seconds() * 1e6:.1f} us")
     print(f"MMIO exits     : {vp.cpus[0].num_mmio}")
     print(f"KVM runs       : {vp.cpus[0].vcpu.num_runs}")
+
+    if telemetry is not None:
+        out_dir = "." if telemetry_dir == "1" else telemetry_dir
+        os.makedirs(out_dir, exist_ok=True)
+        report_path = os.path.join(out_dir, "quickstart_report.txt")
+        trace_path = os.path.join(out_dir, "quickstart_trace.json")
+        from repro.telemetry import write_run_report
+        write_run_report(telemetry, report_path)
+        telemetry.write_chrome_trace(trace_path)
+        print()
+        print(telemetry.report())
+        print(f"run report     : {report_path}")
+        print(f"chrome trace   : {trace_path} (open in ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ Quick start::
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "arch",
     "bench",
     "core",
@@ -34,7 +35,9 @@ __all__ = [
     "kvm",
     "models",
     "systemc",
+    "telemetry",
     "tlm",
+    "trace",
     "vcml",
     "vp",
     "workloads",

@@ -8,9 +8,18 @@ RPR002    blocking TLM transport outside SC_THREAD context
 RPR003    mutable default arguments; set-iteration order dependence in kernel code
 RPR004    incomplete ``SimulateAction`` handling on ``SimulateResult`` consumers
 RPR005    overlapping constant address ranges passed to ``Router.map``
+RPR006    ``print()`` in simulation paths (stdout belongs to entry points)
 ========  =====================================================================
 """
 
-from . import addrmap, blocking, mutable_defaults, simresult, wallclock  # noqa: F401
+from . import (  # noqa: F401
+    addrmap,
+    blocking,
+    mutable_defaults,
+    print_output,
+    simresult,
+    wallclock,
+)
 
-__all__ = ["addrmap", "blocking", "mutable_defaults", "simresult", "wallclock"]
+__all__ = ["addrmap", "blocking", "mutable_defaults", "print_output",
+           "simresult", "wallclock"]

@@ -1,0 +1,49 @@
+"""RPR006 — no ``print()`` in simulation paths.
+
+Simulation code that writes to stdout interleaves model output with guest
+console output and bench results, and (worse) tempts models into using
+stdout as their reporting channel instead of the telemetry registry.
+Anything worth reporting from a model belongs in ``repro.telemetry``
+metrics or the tracer; human-facing output belongs to the entry points.
+
+Exempt:
+
+* ``bench/`` and ``analysis/`` package directories — their job *is*
+  printing results and findings to the terminal,
+* ``debug/`` — an interactive debugger front-end talks to a human,
+* ``__main__.py`` files — CLI entry points anywhere in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import LintContext, Rule, SourceModule, register
+from ..findings import Finding, Severity
+
+
+@register
+class PrintOutputRule(Rule):
+    rule_id = "RPR006"
+    title = "print() in simulation path"
+    severity = Severity.WARNING
+
+    #: package directories whose job is terminal output
+    allowed_dirs = ("bench", "analysis", "debug")
+
+    def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        if module.in_package_dir(*self.allowed_dirs):
+            return
+        if module.relpath.endswith("__main__.py"):
+            return
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield self.finding(
+                    module, node,
+                    "simulation path writes to stdout via print(); report "
+                    "through repro.telemetry metrics (or the tracer) instead "
+                    "and keep stdout for entry points",
+                )

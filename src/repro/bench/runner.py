@@ -7,6 +7,8 @@ its paper-claim checks, and can emit markdown for EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from typing import List
 
@@ -28,6 +30,10 @@ def main(argv: List[str] = None) -> int:
                              "(default 0.02 for a fast pass)")
     parser.add_argument("--markdown", action="store_true",
                         help="emit markdown sections instead of tables")
+    parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                        help="collect repro.telemetry metrics for every "
+                             "platform each experiment builds and write a "
+                             "<experiment>.metrics.json sidecar into DIR")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -37,12 +43,27 @@ def main(argv: List[str] = None) -> int:
             print(f"{experiment_id:20s} {experiment.title}")
         return 0
 
+    if args.telemetry_dir is not None:
+        os.makedirs(args.telemetry_dir, exist_ok=True)
+
     ids = args.experiments or all_experiment_ids()
     failures = 0
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
         started = wall_clock()
-        result = experiment.run(scale=args.scale)
+        if args.telemetry_dir is not None:
+            from ..telemetry import collecting, write_metrics_json
+            scope = collecting()
+        else:
+            scope = contextlib.nullcontext()
+        with scope as telemetry:
+            result = experiment.run(scale=args.scale)
+        if args.telemetry_dir is not None:
+            sidecar = os.path.join(args.telemetry_dir,
+                                   f"{experiment_id}.metrics.json")
+            write_metrics_json(telemetry.registry, sidecar)
+            print(f"telemetry sidecar: {sidecar} "
+                  f"({len(telemetry.registry)} series)")
         elapsed = elapsed_since(started)
         if args.markdown:
             print(render_markdown(result))

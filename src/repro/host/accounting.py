@@ -24,7 +24,7 @@ for performance purposes and keeps runs bit-for-bit deterministic.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..systemc.time import SimTime
 from .machine import MAIN_LANE, HostMachine
@@ -54,6 +54,10 @@ class HostLedger:
         self._windows: Dict[int, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
         self._categories: Dict[str, float] = defaultdict(float)
         self._placement = machine.place_lanes(num_cores, parallel)
+        #: optional observer(window, lane, nanoseconds, category) invoked for
+        #: every billing event — purely observational (repro.telemetry uses
+        #: it to build the host-time span timeline)
+        self.observer: Optional[Callable[[int, int, float, str], None]] = None
 
     # -- billing ------------------------------------------------------------
     def add(self, window: int, lane: int, nanoseconds: float, category: str = "cpu") -> None:
@@ -61,28 +65,34 @@ class HostLedger:
             return
         self._windows[window][lane] += nanoseconds
         self._categories[category] += nanoseconds
+        if self.observer is not None:
+            self.observer(window, lane, nanoseconds, category)
 
     def lane_speed(self, lane: int) -> float:
         core = self._placement.get(lane)
         return core.speed if core is not None else 1.0
 
     # -- results ----------------------------------------------------------------
+    def window_span_ns(self, lanes: Dict[int, float]) -> float:
+        """Fold one window's per-lane totals into its wall-clock extent.
+
+        The single place the max-vs-sum semantics live; both the run total
+        below and the telemetry timeline (:class:`repro.telemetry.spans.
+        HostTimeline`) use it, so exported spans tile to the same total.
+        """
+        costs = self.sim_costs
+        worker_lanes = [lane for lane in lanes if lane != MAIN_LANE]
+        if self.parallel:
+            span = max(lanes.values()) if lanes else 0.0
+            span += costs.parallel_dispatch_ns * len(worker_lanes)
+        else:
+            span = sum(lanes.values())
+            span += costs.sequential_loop_ns * max(1, len(worker_lanes))
+        return span + costs.kernel_overhead_ns_per_window
+
     def wall_time_ns(self) -> float:
         """Fold all windows into total modeled host wall-clock time."""
-        total = 0.0
-        costs = self.sim_costs
-        for lanes in self._windows.values():
-            worker_lanes = [lane for lane in lanes if lane != MAIN_LANE]
-            if self.parallel:
-                span = max(lanes.values())
-                span += costs.parallel_dispatch_ns * len(worker_lanes)
-                span += costs.kernel_overhead_ns_per_window
-            else:
-                span = sum(lanes.values())
-                span += costs.sequential_loop_ns * max(1, len(worker_lanes))
-                span += costs.kernel_overhead_ns_per_window
-            total += span
-        return total
+        return sum(self.window_span_ns(lanes) for lanes in self._windows.values())
 
     def wall_time_seconds(self) -> float:
         return self.wall_time_ns() / 1e9

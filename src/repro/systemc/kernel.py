@@ -64,6 +64,9 @@ class Kernel:
     #: every process step ("step") and method run ("method") the scheduler
     #: dispatches.  Class-level so a checker can observe kernels it did not
     #: create (see repro.analysis.determinism); must never mutate state.
+    #: Dispatch sites read the attribute through the instance, so a
+    #: per-kernel hook (repro.telemetry) can shadow it — such a hook must
+    #: chain to the class-level one to keep the determinism checker fed.
     trace_hook: Optional[Callable[[str, int, str], None]] = None
 
     def __init__(self):
@@ -199,8 +202,9 @@ class Kernel:
         while self._runnable or self._methods:
             while self._methods:
                 method = self._methods.popleft()
-                if Kernel.trace_hook is not None:
-                    Kernel.trace_hook("method", self._now.picoseconds, method.name)
+                hook = self.trace_hook
+                if hook is not None:
+                    hook("method", self._now.picoseconds, method.name)
                 method._run()
             if not self._runnable:
                 break
@@ -210,8 +214,9 @@ class Kernel:
                 continue
             self._current_process = process
             try:
-                if Kernel.trace_hook is not None:
-                    Kernel.trace_hook("step", self._now.picoseconds, process.name)
+                hook = self.trace_hook
+                if hook is not None:
+                    hook("step", self._now.picoseconds, process.name)
                 process._step(self)
             finally:
                 self._current_process = None

@@ -71,6 +71,14 @@ class IrqLine:
         """Register ``callback(level: bool)`` invoked on every level change."""
         self._targets.append(callback)
 
+    def disconnect(self, callback) -> None:
+        """Remove a callback previously registered with :meth:`connect`."""
+        try:
+            self._targets.remove(callback)
+        except ValueError:
+            raise ValueError(
+                f"callback not connected to irq line {self.name!r}") from None
+
     @property
     def level(self) -> bool:
         return self._level

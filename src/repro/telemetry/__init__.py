@@ -1,0 +1,61 @@
+"""repro.telemetry — unified metrics, span profiling, and timeline export.
+
+The observability layer for the whole VP: labeled counters/gauges/
+histograms in a :class:`MetricsRegistry`, span capture on the modeled
+host-time axis (one track per :class:`~repro.host.accounting.HostLedger`
+lane) and on simulated time, and exporters for Perfetto-compatible Chrome
+trace JSON, a plain-text run report, and a metrics-sidecar JSON.
+
+Everything is opt-in and non-intrusive::
+
+    from repro.telemetry import enable_telemetry
+
+    vp = build_platform("aoa", config, software)
+    telemetry = enable_telemetry(vp)          # analogous to attach_platform
+    vp.run(SimTime.ms(100))
+    print(telemetry.report())
+    telemetry.write_chrome_trace("trace.json")   # open in ui.perfetto.dev
+
+Enabling telemetry changes no simulation result: every probe wraps a bound
+callable observationally and all timestamps come from modeled host time or
+simulated time, never the Python wall clock.
+"""
+
+from .export import (
+    chrome_trace,
+    metrics_json,
+    run_report,
+    write_chrome_trace,
+    write_metrics_json,
+    write_run_report,
+)
+from .instrument import (
+    Telemetry,
+    active_telemetry,
+    collecting,
+    enable_telemetry,
+    maybe_attach,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import HostTimeline, Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HostTimeline",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "active_telemetry",
+    "chrome_trace",
+    "collecting",
+    "enable_telemetry",
+    "maybe_attach",
+    "metrics_json",
+    "run_report",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_run_report",
+]

@@ -8,6 +8,8 @@ NISTT [5]: no recompilation, no inheritance, no changed interfaces.
 from __future__ import annotations
 
 import csv
+import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -55,32 +57,61 @@ class IrqTraceRecord:
 
 class TlmTracer:
     """Records TLM transactions and IRQ edges across attached observation
-    points."""
+    points.
 
-    def __init__(self, kernel: Optional[Kernel] = None, capture_data: bool = True):
+    With ``max_records`` the tracer keeps only the most recent that many
+    TLM (and, independently, IRQ) records in a ring buffer — long runs
+    stay bounded while the tail of the trace, usually the interesting
+    part, survives.  Dropped-record counts are reported by
+    :meth:`statistics` under the ``"__meta__"`` key.
+    """
+
+    def __init__(self, kernel: Optional[Kernel] = None, capture_data: bool = True,
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None for unbounded)")
         self._kernel = kernel or current_kernel()
         self.capture_data = capture_data
-        self.records: List[TraceRecord] = []
-        self.irq_records: List[IrqTraceRecord] = []
+        self.max_records = max_records
+        if max_records is None:
+            self.records: List[TraceRecord] = []
+            self.irq_records: List[IrqTraceRecord] = []
+        else:
+            self.records = deque(maxlen=max_records)
+            self.irq_records = deque(maxlen=max_records)
+        self.num_dropped = 0
+        self.num_irq_dropped = 0
         self.enabled = True
         self._attached_sockets: Dict[str, TargetSocket] = {}
-        self._irq_lines: List[IrqLine] = []
+        self._original_transports: Dict[str, Callable] = {}
+        self._irq_connections: List[Tuple[IrqLine, Callable]] = []
 
     # -- attachment -----------------------------------------------------------
     def attach_socket(self, socket: TargetSocket, name: Optional[str] = None) -> None:
-        """Instrument a target socket; every b_transport is recorded."""
+        """Instrument a target socket; every b_transport is recorded.
+
+        A socket whose transport callable is already a tracer wrapper (this
+        tracer or any other) is rejected: silently stacking wrappers would
+        record every transaction twice and make detaching restore a wrapper
+        instead of the model's own callable.
+        """
         label = name or socket.name
         if label in self._attached_sockets:
             raise ValueError(f"socket {label!r} already attached")
-        self._attached_sockets[label] = socket
         original = socket._transport_fn
+        if getattr(original, "_repro_tracer", None) is not None:
+            raise ValueError(
+                f"socket {label!r} is already instrumented by a TlmTracer; "
+                "detach_all() the existing tracer before attaching another")
+        self._attached_sockets[label] = socket
+        self._original_transports[label] = original
 
         def traced_transport(payload: GenericPayload, delay: SimTime,
                              _original=original, _label=label) -> SimTime:
             before = delay
             result = _original(payload, delay)
             if self.enabled:
-                self.records.append(TraceRecord(
+                self._append_record(TraceRecord(
                     timestamp=self._kernel.now,
                     socket=_label,
                     command=payload.command,
@@ -93,15 +124,44 @@ class TlmTracer:
                 ))
             return result
 
+        traced_transport._repro_tracer = self
         socket._transport_fn = traced_transport
 
     def attach_irq(self, line: IrqLine, name: Optional[str] = None) -> None:
         label = name or line.name
-        self._irq_lines.append(line)
-        line.connect(lambda level, _label=label: self._record_irq(_label, level))
+        callback = lambda level, _label=label: self._record_irq(_label, level)
+        self._irq_connections.append((line, callback))
+        line.connect(callback)
+
+    def detach_all(self) -> None:
+        """Restore every instrumented socket and IRQ line to its original
+        state.  After this the tracer no longer observes anything; its
+        recorded history stays readable."""
+        for label, socket in self._attached_sockets.items():
+            wrapper = socket._transport_fn
+            if getattr(wrapper, "_repro_tracer", None) is not self:
+                raise RuntimeError(
+                    f"socket {label!r} transport was re-wrapped after this "
+                    "tracer attached; detach the newer instrumentation first")
+            socket._transport_fn = self._original_transports[label]
+        self._attached_sockets.clear()
+        self._original_transports.clear()
+        for line, callback in self._irq_connections:
+            line.disconnect(callback)
+        self._irq_connections.clear()
+
+    # -- recording ----------------------------------------------------------------
+    def _append_record(self, record: TraceRecord) -> None:
+        if (self.max_records is not None
+                and len(self.records) == self.max_records):
+            self.num_dropped += 1
+        self.records.append(record)
 
     def _record_irq(self, label: str, level: bool) -> None:
         if self.enabled:
+            if (self.max_records is not None
+                    and len(self.irq_records) == self.max_records):
+                self.num_irq_dropped += 1
             self.irq_records.append(IrqTraceRecord(self._kernel.now, label, level))
 
     # -- control -----------------------------------------------------------------
@@ -114,6 +174,8 @@ class TlmTracer:
     def clear(self) -> None:
         self.records.clear()
         self.irq_records.clear()
+        self.num_dropped = 0
+        self.num_irq_dropped = 0
 
     # -- queries ------------------------------------------------------------------
     def filter(self, socket: Optional[str] = None,
@@ -151,11 +213,18 @@ class TlmTracer:
             elif record.command is Command.WRITE:
                 entry["writes"] += 1
                 entry["bytes_written"] += record.length
+        if self.max_records is not None:
+            stats["__meta__"] = {
+                "max_records": self.max_records,
+                "dropped_records": self.num_dropped,
+                "dropped_irq_records": self.num_irq_dropped,
+            }
         return stats
 
     # -- export --------------------------------------------------------------------
     def to_text(self, limit: Optional[int] = None) -> str:
-        records = self.records if limit is None else self.records[:limit]
+        records = (self.records if limit is None
+                   else itertools.islice(self.records, limit))
         return "\n".join(str(record) for record in records)
 
     def to_csv(self, path: str) -> int:

@@ -138,6 +138,8 @@ class VirtualPlatform(Module):
         if config.track_host_time:
             self.ledger = HostLedger(config.quantum, config.parallel, self.host_machine,
                                      config.num_cores, config.sim_costs)
+        #: set by repro.telemetry.enable_telemetry; None when not observed
+        self.telemetry = None
 
         # -- CPU cores ---------------------------------------------------------------------
         self.cpus: List = []
@@ -284,10 +286,19 @@ class Avp64Platform(VirtualPlatform):
 
 
 def build_platform(kind: str, config: VpConfig, software: GuestSoftware):
-    """Create a fresh Simulation plus a platform of ``kind`` (aoa/avp64)."""
+    """Create a fresh Simulation plus a platform of ``kind`` (aoa/avp64).
+
+    Inside a :func:`repro.telemetry.collecting` scope the new platform is
+    instrumented automatically, so harnesses (e.g. ``repro.bench.runner``)
+    can observe experiments without the experiments knowing.
+    """
     sim = Simulation()
     if kind == "aoa":
-        return AoaPlatform(sim, config, software)
-    if kind == "avp64":
-        return Avp64Platform(sim, config, software)
-    raise ValueError(f"unknown platform kind {kind!r} (want 'aoa' or 'avp64')")
+        vp = AoaPlatform(sim, config, software)
+    elif kind == "avp64":
+        vp = Avp64Platform(sim, config, software)
+    else:
+        raise ValueError(f"unknown platform kind {kind!r} (want 'aoa' or 'avp64')")
+    from ..telemetry import maybe_attach
+    maybe_attach(vp)
+    return vp

@@ -1,0 +1,12 @@
+"""Fixture: RPR006 must fire — model code printing to stdout."""
+
+
+class TimerModel:
+    def expire(self, channel):
+        print(f"timer channel {channel} expired")   # debug left in
+        self.pending |= 1 << channel
+
+    def tick(self):
+        count = self.count + 1
+        print("tick", count)
+        return count

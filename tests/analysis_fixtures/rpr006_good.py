@@ -1,0 +1,18 @@
+"""Fixture: RPR006 must stay silent — no stdout from model code."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+class TimerModel:
+    def expire(self, channel):
+        log.debug("timer channel %d expired", channel)
+        self.pending |= 1 << channel
+
+    def report(self, registry):
+        registry.counter("timer.expirations").inc()
+
+    def console_print(self, text):
+        # a method merely *named* like print is fine
+        self.buffer += text

@@ -111,6 +111,37 @@ def test_rpr005_folds_constants_across_files():
     assert findings == []
 
 
+# -- RPR006: print() in simulation paths -------------------------------------------
+
+def test_rpr006_fires_on_print_in_model_code():
+    findings, rules = rules_fired(FIXTURES / "rpr006_bad.py", select=["RPR006"])
+    assert rules == {"RPR006"}
+    assert all("print()" in finding.message for finding in findings)
+    assert len(findings) == 2
+
+
+def test_rpr006_silent_on_logging_and_lookalike_names():
+    _, rules = rules_fired(FIXTURES / "rpr006_good.py", select=["RPR006"])
+    assert rules == set()
+
+
+def test_rpr006_exempts_entry_points_and_reporting_dirs(tmp_path):
+    (tmp_path / "bench").mkdir()
+    (tmp_path / "bench" / "results.py").write_text("print('table')\n")
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__main__.py").write_text("print('usage: ...')\n")
+    (tmp_path / "pkg" / "model.py").write_text("print('oops')\n")
+    findings = lint_paths([str(tmp_path)], select=["RPR006"])
+    assert len(findings) == 1
+    assert findings[0].path.endswith("pkg/model.py")
+
+
+def test_rpr006_clean_on_real_source_tree():
+    src = Path(__file__).parent.parent / "src" / "repro"
+    findings = lint_paths([str(src)], select=["RPR006"])
+    assert findings == []
+
+
 # -- suppression comments ----------------------------------------------------------
 
 def test_suppression_comment_silences_one_line(tmp_path):

@@ -104,6 +104,115 @@ class TestSocketTracing:
         assert tracer.records[0].data == b""
 
 
+class TestDetachAndDoubleWrap:
+    def test_second_tracer_on_same_socket_rejected(self):
+        kernel = Kernel()
+        memory = Memory("ram", 0x1000)
+        first = TlmTracer(kernel)
+        first.attach_socket(memory.in_socket, name="ram")
+        second = TlmTracer(kernel)
+        with pytest.raises(ValueError, match="already instrumented"):
+            second.attach_socket(memory.in_socket, name="ram2")
+
+    def test_detach_all_restores_transport_and_irqs(self):
+        kernel = Kernel()
+        memory = Memory("ram", 0x1000)
+        original = memory.in_socket._transport_fn
+        line = IrqLine("irq", kernel)
+        tracer = TlmTracer(kernel)
+        tracer.attach_socket(memory.in_socket, name="ram")
+        tracer.attach_irq(line, "irq")
+        assert memory.in_socket._transport_fn is not original
+        tracer.detach_all()
+        assert memory.in_socket._transport_fn is original
+        assert line._targets == []
+        # Nothing is recorded after detaching; history stays readable.
+        initiator = InitiatorSocket("cpu")
+        initiator.bind(memory.in_socket)
+        initiator.write_u32(0, 1)
+        line.pulse()
+        assert len(tracer) == 0
+        assert tracer.irq_records == []
+
+    def test_detach_then_reattach_works(self):
+        kernel = Kernel()
+        memory = Memory("ram", 0x1000)
+        first = TlmTracer(kernel)
+        first.attach_socket(memory.in_socket, name="ram")
+        first.detach_all()
+        second = TlmTracer(kernel)
+        second.attach_socket(memory.in_socket, name="ram")
+        initiator = InitiatorSocket("cpu")
+        initiator.bind(memory.in_socket)
+        initiator.write_u32(0, 1)
+        assert len(first) == 0 and len(second) == 1
+
+    def test_irq_disconnect_unknown_callback_rejected(self):
+        kernel = Kernel()
+        line = IrqLine("irq", kernel)
+        with pytest.raises(ValueError, match="not connected"):
+            line.disconnect(lambda level: None)
+
+
+class TestRingBuffer:
+    def make(self, max_records):
+        kernel = Kernel()
+        memory = Memory("ram", 0x1000)
+        tracer = TlmTracer(kernel, max_records=max_records)
+        tracer.attach_socket(memory.in_socket, name="ram")
+        initiator = InitiatorSocket("cpu")
+        initiator.bind(memory.in_socket)
+        return tracer, initiator
+
+    def test_keeps_most_recent_records(self):
+        tracer, initiator = self.make(max_records=3)
+        for address in range(0, 24, 4):
+            initiator.write_u32(address, address)
+        assert len(tracer) == 3
+        assert [record.address for record in tracer.records] == [12, 16, 20]
+        assert tracer.num_dropped == 3
+
+    def test_statistics_report_drops(self):
+        tracer, initiator = self.make(max_records=2)
+        for address in range(0, 20, 4):
+            initiator.write_u32(address, 1)
+        meta = tracer.statistics()["__meta__"]
+        assert meta == {"max_records": 2, "dropped_records": 3,
+                        "dropped_irq_records": 0}
+
+    def test_unbounded_tracer_has_no_meta_entry(self):
+        kernel = Kernel()
+        memory = Memory("ram", 0x1000)
+        tracer = TlmTracer(kernel)
+        tracer.attach_socket(memory.in_socket, name="ram")
+        assert "__meta__" not in tracer.statistics()
+
+    def test_irq_ring_is_independent(self):
+        kernel = Kernel()
+        tracer = TlmTracer(kernel, max_records=2)
+        line = IrqLine("irq", kernel)
+        tracer.attach_irq(line, "irq")
+        for _ in range(3):
+            line.pulse()                     # two edges each
+        assert len(tracer.irq_records) == 2
+        assert tracer.num_irq_dropped == 4
+
+    def test_to_text_and_clear_with_ring(self):
+        tracer, initiator = self.make(max_records=2)
+        initiator.write_u32(0, 1)
+        initiator.write_u32(4, 2)
+        initiator.write_u32(8, 3)
+        text = tracer.to_text(limit=1)
+        assert "0x00000004" in text
+        tracer.clear()
+        assert tracer.num_dropped == 0 and len(tracer) == 0
+
+    def test_nonpositive_max_records_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            TlmTracer(kernel, max_records=0)
+
+
 class TestIrqTracing:
     def test_edges_recorded(self):
         kernel = Kernel()
