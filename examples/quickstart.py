@@ -14,6 +14,12 @@ With ``REPRO_TELEMETRY`` set, the run is additionally instrumented with
 :mod:`repro.telemetry` (zero behaviour change) and writes a text run
 report plus a Perfetto-loadable Chrome trace into the directory the
 variable names (``REPRO_TELEMETRY=1`` uses the current directory).
+
+With ``REPRO_FLIGHT`` set, the run carries the :mod:`repro.flight` black
+box (also zero behaviour change) and writes the event journal
+(``quickstart_journal.jsonl``) plus the guest profiler's outputs
+(``quickstart_profile.folded`` / ``.json``) into the directory the
+variable names (``REPRO_FLIGHT=1`` uses the current directory).
 """
 
 import os
@@ -59,6 +65,14 @@ def main():
         from repro.telemetry import enable_telemetry
         telemetry = enable_telemetry(vp)
 
+    flight_dir = os.environ.get("REPRO_FLIGHT")
+    flight = None
+    if flight_dir:
+        from repro.flight import enable_flight
+        # Sample every 10 modeled cycles: the guest is tiny, and a short
+        # interval gives the profile real shape even on a hello-world.
+        flight = enable_flight(vp, profile_interval=10)
+
     end_time = vp.run(SimTime.ms(100))
 
     print(f"simulated time : {end_time}")
@@ -80,6 +94,24 @@ def main():
         print(telemetry.report())
         print(f"run report     : {report_path}")
         print(f"chrome trace   : {trace_path} (open in ui.perfetto.dev)")
+
+    if flight is not None:
+        out_dir = "." if flight_dir == "1" else flight_dir
+        os.makedirs(out_dir, exist_ok=True)
+        journal_path = os.path.join(out_dir, "quickstart_journal.jsonl")
+        folded_path = os.path.join(out_dir, "quickstart_profile.folded")
+        profile_path = os.path.join(out_dir, "quickstart_profile.json")
+        events = flight.write_journal(journal_path)
+        flight.profiler.write_folded(folded_path)
+        flight.profiler.write_json(profile_path)
+        print()
+        print(f"flight journal : {journal_path} ({events} events)")
+        print(f"guest profile  : {folded_path} (feed to flamegraph.pl), "
+              f"{profile_path}")
+        top = sorted(flight.profiler.per_symbol().items(),
+                     key=lambda item: -item[1])[:3]
+        for symbol, cycles in top:
+            print(f"  {cycles:8d} cycles  {symbol}")
 
 
 if __name__ == "__main__":

@@ -8,13 +8,20 @@ insightful tracing facilities".  This demo exercises both on one guest:
 2. attach the debugger, break at a guest function, inspect registers and
    disassembly, single-step through it,
 3. continue to completion and print the transaction statistics and an IRQ
-   waveform (VCD).
+   waveform (VCD),
+4. force a watchdog "wedge" (the same KVM_RUN kicked twice) and walk the
+   post-mortem crash bundle the flight recorder dumps in response.
 
 Run:  python examples/trace_and_debug.py
 """
 
+import json
+import os
+import tempfile
+
 from repro.arch import assemble
 from repro.debug import Debugger
+from repro.flight import enable_flight
 from repro.systemc import SimTime
 from repro.trace import attach_platform
 from repro.vp import GuestSoftware, VpConfig, build_platform
@@ -52,6 +59,8 @@ def main():
     vp = build_platform("aoa", VpConfig(num_cores=1), software)
 
     tracer = attach_platform(vp)
+    flight = enable_flight(
+        vp, crash_dir=os.path.join(tempfile.gettempdir(), "repro-bundles"))
     debugger = Debugger(vp)
 
     print("== break at triple() ==")
@@ -83,6 +92,28 @@ def main():
         print(f"  {socket}: {stats}")
 
     print(f"\ntotal transactions observed: {len(tracer)}")
+
+    print("\n== force a watchdog fire, inspect the crash bundle ==")
+    # Arm the same run id twice with a zero budget: the second delivered
+    # kick means SIGUSR1 failed to end KVM_RUN — a wedged core.  The flight
+    # recorder reacts by dumping a post-mortem bundle.
+    flight.force_watchdog_fire(vp, core=0)
+    bundle = flight.bundler.bundles[-1]
+    meta = json.load(open(os.path.join(bundle, "meta.json")))
+    print(f"bundle reason  : {meta['reason']} ({meta['detail']})")
+    print(f"sim time       : {meta['sim_time_ps']} ps")
+    core0 = json.load(open(os.path.join(bundle, "cores", "core0.json")))
+    print(f"core0 pc       : 0x{core0['registers']['pc']:x}")
+    print(f"core0 backtrace: {core0['backtrace']}")
+    with open(os.path.join(bundle, "journal.jsonl")) as stream:
+        events = [json.loads(line) for line in stream]
+    print(f"journal tail   : {len(events)} events; last 3:")
+    for event in events[-3:]:
+        print(f"  {event}")
+    print("disassembly around the PC:")
+    with open(os.path.join(bundle, "cores", "core0.disasm.txt")) as stream:
+        for line in stream.read().splitlines()[:6]:
+            print(f"  {line}")
 
 
 if __name__ == "__main__":

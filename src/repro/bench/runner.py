@@ -34,6 +34,16 @@ def main(argv: List[str] = None) -> int:
                         help="collect repro.telemetry metrics for every "
                              "platform each experiment builds and write a "
                              "<experiment>.metrics.json sidecar into DIR")
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="attach the repro.flight recorder + guest "
+                             "profiler to every platform each experiment "
+                             "builds and write <experiment>.journal.jsonl, "
+                             ".profile.folded and .profile.json sidecars "
+                             "into DIR")
+    parser.add_argument("--profile-interval", type=int, default=10_000,
+                        metavar="CYCLES",
+                        help="guest profiler sample interval in modeled "
+                             "cycles (default 10000)")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -45,6 +55,8 @@ def main(argv: List[str] = None) -> int:
 
     if args.telemetry_dir is not None:
         os.makedirs(args.telemetry_dir, exist_ok=True)
+    if args.profile_dir is not None:
+        os.makedirs(args.profile_dir, exist_ok=True)
 
     ids = args.experiments or all_experiment_ids()
     failures = 0
@@ -56,7 +68,12 @@ def main(argv: List[str] = None) -> int:
             scope = collecting()
         else:
             scope = contextlib.nullcontext()
-        with scope as telemetry:
+        if args.profile_dir is not None:
+            from ..flight import recording
+            flight_scope = recording(profile_interval=args.profile_interval)
+        else:
+            flight_scope = contextlib.nullcontext()
+        with scope as telemetry, flight_scope as flight:
             result = experiment.run(scale=args.scale)
         if args.telemetry_dir is not None:
             sidecar = os.path.join(args.telemetry_dir,
@@ -64,6 +81,19 @@ def main(argv: List[str] = None) -> int:
             write_metrics_json(telemetry.registry, sidecar)
             print(f"telemetry sidecar: {sidecar} "
                   f"({len(telemetry.registry)} series)")
+        if args.profile_dir is not None:
+            journal = os.path.join(args.profile_dir,
+                                   f"{experiment_id}.journal.jsonl")
+            events = flight.write_journal(journal)
+            message = f"flight sidecars: {journal} ({events} events)"
+            if flight.profiler is not None:
+                folded = os.path.join(args.profile_dir,
+                                      f"{experiment_id}.profile.folded")
+                stacks = flight.profiler.write_folded(folded)
+                flight.profiler.write_json(os.path.join(
+                    args.profile_dir, f"{experiment_id}.profile.json"))
+                message += f", {folded} ({stacks} stacks)"
+            print(message)
         elapsed = elapsed_since(started)
         if args.markdown:
             print(render_markdown(result))

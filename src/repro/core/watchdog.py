@@ -19,17 +19,44 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+
+class WatchdogFire(NamedTuple):
+    """Payload of one fire notification.
+
+    Carries everything needed to correlate a fire with the run that armed
+    it: the core, when the timer was due vs. when the watchdog thread got
+    around to firing it, plus the arming run's *kick id* and *armed budget*
+    (None for raw timers armed without a :class:`KickGuard`).
+    """
+
+    core_id: int
+    fired_at_ns: float
+    deadline_ns: float
+    kick_id: Optional[int] = None
+    budget_ns: Optional[float] = None
+
+    @property
+    def margin_ns(self) -> float:
+        """How late past its deadline the timer actually fired."""
+        return self.fired_at_ns - self.deadline_ns
 
 
 class WatchdogEntry:
-    __slots__ = ("deadline_ns", "seq", "callback", "cancelled")
+    __slots__ = ("deadline_ns", "seq", "callback", "cancelled", "core_id",
+                 "kick_id", "budget_ns")
 
-    def __init__(self, deadline_ns: float, seq: int, callback: Callable[[], None]):
+    def __init__(self, deadline_ns: float, seq: int, callback: Callable[[], None],
+                 core_id: int = 0, kick_id: Optional[int] = None,
+                 budget_ns: Optional[float] = None):
         self.deadline_ns = deadline_ns
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.core_id = core_id
+        self.kick_id = kick_id
+        self.budget_ns = budget_ns
 
     def __lt__(self, other: "WatchdogEntry") -> bool:
         return (self.deadline_ns, self.seq) < (other.deadline_ns, other.seq)
@@ -44,13 +71,30 @@ class Watchdog:
         self.num_scheduled = 0
         self.num_fired = 0
         self.num_cancelled = 0
+        #: observers called with a :class:`WatchdogFire` after every fire
+        #: (pure notification — the kick callback has already run)
+        self.fire_listeners: List[Callable[[WatchdogFire], None]] = []
+
+    def add_fire_listener(self, listener: Callable[[WatchdogFire], None]) -> None:
+        self.fire_listeners.append(listener)
+
+    def remove_fire_listener(self, listener: Callable[[WatchdogFire], None]) -> None:
+        self.fire_listeners.remove(listener)
 
     def schedule(self, core_id: int, now_ns: float, timeout_ns: float,
-                 callback: Callable[[], None]) -> WatchdogEntry:
-        """Arm a timer that calls ``callback`` once ``timeout_ns`` from now."""
+                 callback: Callable[[], None], kick_id: Optional[int] = None,
+                 budget_ns: Optional[float] = None) -> WatchdogEntry:
+        """Arm a timer that calls ``callback`` once ``timeout_ns`` from now.
+
+        ``kick_id`` and ``budget_ns`` are pure metadata carried into the
+        fire notification so observers (the flight recorder, humans reading
+        a crash bundle) can correlate stale kicks with the run that armed
+        them.
+        """
         if timeout_ns < 0:
             raise ValueError(f"negative watchdog timeout: {timeout_ns}")
-        entry = WatchdogEntry(now_ns + timeout_ns, next(self._seq), callback)
+        entry = WatchdogEntry(now_ns + timeout_ns, next(self._seq), callback,
+                              core_id=core_id, kick_id=kick_id, budget_ns=budget_ns)
         heapq.heappush(self._timelines.setdefault(core_id, []), entry)
         self.num_scheduled += 1
         return entry
@@ -73,6 +117,11 @@ class Watchdog:
             entry.callback()
             fired += 1
             self.num_fired += 1
+            if self.fire_listeners:
+                payload = WatchdogFire(entry.core_id, now_ns, entry.deadline_ns,
+                                       entry.kick_id, entry.budget_ns)
+                for listener in list(self.fire_listeners):
+                    listener(payload)
         return fired
 
     def pending(self, core_id: int) -> int:
@@ -96,10 +145,20 @@ class KickGuard:
         self.m_kickid = 0
         self.num_kicks_delivered = 0
         self.num_kicks_filtered = 0
+        self.num_repeat_kicks = 0
+        self._last_delivered_id: Optional[int] = None
+        #: called with the kick id when the *same* run id is kicked twice —
+        #: the first SIGUSR1 failed to end KVM_RUN, so the core is wedged
+        self.on_repeat_kick: Optional[Callable[[int], None]] = None
 
     def kick(self, kick_id: int) -> None:
         """Called by the watchdog thread when a timer expires."""
         if kick_id == self.m_kickid:
+            if kick_id == self._last_delivered_id:
+                self.num_repeat_kicks += 1
+                if self.on_repeat_kick is not None:
+                    self.on_repeat_kick(kick_id)
+            self._last_delivered_id = kick_id
             self.num_kicks_delivered += 1
             self._deliver_signal()
         else:
@@ -110,7 +169,8 @@ class KickGuard:
         """Schedule a kick for the *current* run id (Listing 1, lines 7-8)."""
         kick_id = self.m_kickid
         return watchdog.schedule(core_id, now_ns, timeout_ns,
-                                 lambda: self.kick(kick_id))
+                                 lambda: self.kick(kick_id),
+                                 kick_id=kick_id, budget_ns=timeout_ns)
 
     def next_run(self) -> None:
         """Increment ``m_kickid`` after a KVM_RUN returns (§IV-A)."""
@@ -139,7 +199,8 @@ class UnguardedKick:
             timeout_ns: float) -> WatchdogEntry:
         kick_id = self.m_kickid
         return watchdog.schedule(core_id, now_ns, timeout_ns,
-                                 lambda: self.kick(kick_id))
+                                 lambda: self.kick(kick_id),
+                                 kick_id=kick_id, budget_ns=timeout_ns)
 
     def next_run(self) -> None:
         self.m_kickid += 1

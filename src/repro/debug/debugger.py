@@ -167,6 +167,10 @@ class Debugger:
     def read_sysreg(self, name: str) -> int:
         return self.state.read_sysreg(SysReg[name.upper()])
 
+    def sysregs(self) -> Dict[str, int]:
+        """Every architected system register, keyed by lowercase name."""
+        return {reg.name.lower(): self.state.read_sysreg(reg) for reg in SysReg}
+
     def read_memory(self, address: int, length: int) -> bytes:
         """Side-effect-free memory read through debug transport."""
         payload = GenericPayload.read(address, length)

@@ -12,7 +12,13 @@ offset  name        function
 0x08    BOOT_DONE   write: record boot completion
 0x10    CHECKPOINT  write: record a numbered checkpoint
 0x18    SIMTIME_NS  read: current simulation time in ns
+0x20    PANIC       write: stop the simulation, reason "panic"
 ======  ==========  ==============================================
+
+SHUTDOWN and PANIC both end the run, but with distinct
+``stop_reason`` values: an orderly guest exit and a guest-reported
+fatal error are different events for post-mortem tooling (the flight
+recorder dumps a crash bundle only for the latter).
 """
 
 from __future__ import annotations
@@ -32,10 +38,16 @@ class SimControl(Peripheral):
         super().__init__(name, parent)
         self.shutdown_requested = False
         self.exit_code = 0
+        self.panic_requested = False
+        self.panic_code = 0
+        #: why the run stopped through this device: None | "shutdown" | "panic"
+        self.stop_reason: Optional[str] = None
         self.boot_done_at: Optional[SimTime] = None
         self.checkpoints: List[Tuple[int, SimTime]] = []
         self.on_shutdown: Optional[Callable[[int], None]] = None
         self.on_boot_done: Optional[Callable[[SimTime], None]] = None
+        self.on_checkpoint: Optional[Callable[[int, SimTime], None]] = None
+        self.on_panic: Optional[Callable[[int], None]] = None
         self.add_register("shutdown", 0x00, size=8, access=Access.WRITE,
                           on_write=self._write_shutdown)
         self.add_register("boot_done", 0x08, size=8, access=Access.WRITE,
@@ -44,12 +56,25 @@ class SimControl(Peripheral):
                           on_write=self._write_checkpoint)
         self.add_register("simtime_ns", 0x18, size=8, access=Access.READ,
                           on_read=lambda: int(self.now.to_ns()))
+        self.add_register("panic", 0x20, size=8, access=Access.WRITE,
+                          on_write=self._write_panic)
 
     def _write_shutdown(self, value: int) -> None:
         self.shutdown_requested = True
         self.exit_code = value
+        if self.stop_reason is None:
+            self.stop_reason = "shutdown"
         if self.on_shutdown is not None:
             self.on_shutdown(value)
+        self.kernel.stop()
+
+    def _write_panic(self, value: int) -> None:
+        self.panic_requested = True
+        self.panic_code = value
+        if self.stop_reason is None:
+            self.stop_reason = "panic"
+        if self.on_panic is not None:
+            self.on_panic(value)
         self.kernel.stop()
 
     def _write_boot_done(self, value: int) -> None:
@@ -60,3 +85,5 @@ class SimControl(Peripheral):
 
     def _write_checkpoint(self, value: int) -> None:
         self.checkpoints.append((value, self.now))
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(value, self.now)

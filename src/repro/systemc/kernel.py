@@ -69,6 +69,14 @@ class Kernel:
     #: chain to the class-level one to keep the determinism checker fed.
     trace_hook: Optional[Callable[[str, int, str], None]] = None
 
+    #: Optional observer called as ``error_hook(exc)`` when an exception
+    #: escapes the scheduling loop (i.e. a model blew up inside dispatch).
+    #: Read through the instance like ``trace_hook`` so a per-kernel hook
+    #: (repro.flight's crash bundler) can shadow the class default.  The
+    #: exception is re-raised afterwards either way; the hook is a last
+    #: look at the wreckage, not a handler.
+    error_hook: Optional[Callable[[BaseException], None]] = None
+
     def __init__(self):
         global _current_kernel
         self._now = SimTime.zero()
@@ -187,6 +195,11 @@ class Kernel:
                     continue
                 if not self._advance_time(deadline):
                     break
+        except Exception as exc:
+            hook = self.error_hook
+            if hook is not None:
+                hook(exc)
+            raise
         finally:
             self._running = False
         if (not self._stop_requested and deadline is not None

@@ -41,6 +41,7 @@ from ..systemc.kernel import Kernel
 from ..vcml.processor import SimulateAction
 from .metrics import MetricsRegistry
 from .spans import HostTimeline, SpanRecorder
+from .wrapping import WrapSet
 
 #: fraction-valued histogram bounds (quantum utilization)
 FRACTION_BUCKETS = tuple(i / 10 for i in range(1, 11)) + (1.5, 2.0)
@@ -57,7 +58,7 @@ class Telemetry:
         self.sim_spans = SpanRecorder(unit="ps")
         #: (key, platform, HostTimeline or None) per attached platform
         self.platforms: List[Tuple[str, object, Optional[HostTimeline]]] = []
-        self._undo: List[Tuple[object, str, bool, object]] = []
+        self._wraps = WrapSet()
         self._watchdog_now: Optional[float] = None
         self._attached = True
 
@@ -65,21 +66,11 @@ class Telemetry:
     def _wrap(self, target: object, attribute: str,
               factory: Callable[[Callable], Callable]) -> None:
         """Replace ``target.attribute`` with ``factory(original)``, undoably."""
-        original = getattr(target, attribute)
-        had_instance_attr = attribute in target.__dict__
-        previous = target.__dict__.get(attribute)
-        setattr(target, attribute, factory(original))
-        self._undo.append((target, attribute, had_instance_attr, previous))
+        self._wraps.wrap(target, attribute, factory)
 
     def detach(self) -> None:
         """Restore every wrapped callable and ledger observer."""
-        for target, attribute, had_instance_attr, previous in reversed(self._undo):
-            if had_instance_attr:
-                setattr(target, attribute, previous)
-            else:
-                with contextlib.suppress(AttributeError):
-                    delattr(target, attribute)
-        self._undo.clear()
+        self._wraps.restore()
         for _key, vp, timeline in self.platforms:
             if timeline is not None:
                 timeline.detach()
@@ -120,17 +111,16 @@ class Telemetry:
             (step_counter if kind == "step" else method_counter).inc()
             depth_gauge.set(len(kernel._runnable))
 
-        had = "trace_hook" in kernel.__dict__
-        previous = kernel.__dict__.get("trace_hook")
-        kernel.trace_hook = hook
-        self._undo.append((kernel, "trace_hook", had, previous))
+        # A plain undoable set, not a wrap: the hook must chain to the
+        # *class-level* attribute at call time, not to a captured original.
+        self._wraps.set(kernel, "trace_hook", hook)
 
     # -- watchdog -------------------------------------------------------------
     def _attach_watchdog(self, watchdog) -> None:
         registry = self.registry
 
         def make_schedule(original):
-            def schedule(core_id, now_ns, timeout_ns, callback):
+            def schedule(core_id, now_ns, timeout_ns, callback, **meta):
                 registry.counter("watchdog.armed", core=core_id).inc()
                 deadline_ns = now_ns + timeout_ns
 
@@ -143,7 +133,8 @@ class Telemetry:
                         ).observe(fire_now - deadline_ns)
                     callback()
 
-                return original(core_id, now_ns, timeout_ns, observed_callback)
+                return original(core_id, now_ns, timeout_ns, observed_callback,
+                                **meta)
             return schedule
 
         def make_advance(original):

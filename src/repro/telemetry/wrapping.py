@@ -1,0 +1,62 @@
+"""Undoable wrapping of *bound callables on one instance* (NISTT-style).
+
+Both observability layers — :mod:`repro.telemetry` and :mod:`repro.flight`
+— instrument a virtual platform the same way: replace ``target.attribute``
+with ``factory(original)`` on the *instance*, never the class, so
+
+* models never know they are observed,
+* wrapped behaviour is bit-for-bit identical (DET001 digests do not move),
+* detaching restores every original callable (including stacked wraps:
+  restoration happens in reverse attach order), and
+* two layers can wrap the same attribute — the outer wrapper simply
+  receives the inner wrapper as its ``original``.
+
+:class:`WrapSet` is the shared bookkeeping for that pattern.  ``wrap`` is
+the common case; ``set`` covers plain undoable attribute assignment
+(callback slots like ``uart.on_tx`` or a per-instance ``trace_hook`` that
+must chain to a class-level hook by hand).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Tuple
+
+
+class WrapSet:
+    """A stack of undoable instance-attribute replacements."""
+
+    def __init__(self):
+        #: (target, attribute, had_instance_attr, previous_value)
+        self._undo: List[Tuple[object, str, bool, object]] = []
+
+    def __len__(self) -> int:
+        return len(self._undo)
+
+    def wrap(self, target: object, attribute: str,
+             factory: Callable[[Callable], Callable]) -> None:
+        """Replace ``target.attribute`` with ``factory(original)``, undoably.
+
+        ``original`` is whatever the attribute currently resolves to — a
+        plain bound method, or another layer's wrapper if one is already
+        installed.
+        """
+        original = getattr(target, attribute)
+        self.set(target, attribute, factory(original))
+
+    def set(self, target: object, attribute: str, value: object) -> None:
+        """Assign ``target.attribute = value``, undoably."""
+        had_instance_attr = attribute in target.__dict__
+        previous = target.__dict__.get(attribute)
+        setattr(target, attribute, value)
+        self._undo.append((target, attribute, had_instance_attr, previous))
+
+    def restore(self) -> None:
+        """Undo every replacement, most recent first."""
+        for target, attribute, had_instance_attr, previous in reversed(self._undo):
+            if had_instance_attr:
+                setattr(target, attribute, previous)
+            else:
+                with contextlib.suppress(AttributeError):
+                    delattr(target, attribute)
+        self._undo.clear()

@@ -140,6 +140,8 @@ class VirtualPlatform(Module):
                                      config.num_cores, config.sim_costs)
         #: set by repro.telemetry.enable_telemetry; None when not observed
         self.telemetry = None
+        #: set by repro.flight.enable_flight; None when no black box attached
+        self.flight = None
 
         # -- CPU cores ---------------------------------------------------------------------
         self.cpus: List = []
@@ -290,7 +292,8 @@ def build_platform(kind: str, config: VpConfig, software: GuestSoftware):
 
     Inside a :func:`repro.telemetry.collecting` scope the new platform is
     instrumented automatically, so harnesses (e.g. ``repro.bench.runner``)
-    can observe experiments without the experiments knowing.
+    can observe experiments without the experiments knowing; likewise a
+    :func:`repro.flight.recording` scope attaches the flight recorder.
     """
     sim = Simulation()
     if kind == "aoa":
@@ -301,4 +304,6 @@ def build_platform(kind: str, config: VpConfig, software: GuestSoftware):
         raise ValueError(f"unknown platform kind {kind!r} (want 'aoa' or 'avp64')")
     from ..telemetry import maybe_attach
     maybe_attach(vp)
+    from ..flight import maybe_attach as flight_maybe_attach
+    flight_maybe_attach(vp)
     return vp

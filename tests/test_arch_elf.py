@@ -50,6 +50,38 @@ class TestSymbols:
         assert image.symbol_at(0x20) == "b"
         assert image.symbol_at(0x08) is None
 
+    def test_symbol_at_exactly_at_symbol(self):
+        """An address that IS a symbol's address resolves to that symbol."""
+        image = ElfLite(0, [], [Symbol("a", 0x10), Symbol("b", 0x20)])
+        assert image.symbol_at(0x10) == "a"
+
+    def test_symbol_at_between_symbols(self):
+        """Anywhere in [a, b) belongs to a — including the last byte."""
+        image = ElfLite(0, [], [Symbol("a", 0x10), Symbol("b", 0x20)])
+        assert image.symbol_at(0x11) == "a"
+        assert image.symbol_at(0x1F) == "a"
+
+    def test_symbol_at_past_last_symbol(self):
+        """Past the last symbol the open-ended interval still resolves."""
+        image = ElfLite(0, [], [Symbol("a", 0x10), Symbol("b", 0x20)])
+        assert image.symbol_at(0x21) == "b"
+        assert image.symbol_at(0xFFFF_FFFF) == "b"
+
+    def test_symbol_at_before_first_symbol(self):
+        image = ElfLite(0, [], [Symbol("a", 0x10)])
+        assert image.symbol_at(0x0F) is None
+        assert image.symbol_at(0) is None
+
+    def test_symbol_at_no_symbols(self):
+        assert ElfLite(0, [], []).symbol_at(0x1234) is None
+
+    def test_symbol_at_unsorted_table(self):
+        """Resolution must not depend on symbol-table ordering."""
+        image = ElfLite(0, [], [Symbol("late", 0x30), Symbol("early", 0x10)])
+        assert image.symbol_at(0x10) == "early"
+        assert image.symbol_at(0x2F) == "early"
+        assert image.symbol_at(0x30) == "late"
+
     def test_add_symbol(self):
         image = ElfLite(0, [], [])
         image.add_symbol("extra", 0x99)

@@ -1,0 +1,142 @@
+"""Sampling guest profiler: carry-exact accounting, folded output, e2e."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.flight import enable_flight
+from repro.flight.profiler import GuestProfiler, parse_folded
+from repro.systemc.time import SimTime
+from repro.vp import GuestSoftware, VpConfig, build_platform
+from repro.workloads.dhrystone import DhrystoneParams, dhrystone_software
+
+GUEST = """
+.equ UART_HI, 0x0904
+.equ SIMCTL_HI, 0x090F
+
+_start:
+    movz x1, #UART_HI, lsl #16
+    adr x2, message
+print_loop:
+    ldrb x3, [x2]
+    cbz x3, finished
+    strb x3, [x1]
+    add x2, x2, #1
+    b print_loop
+finished:
+    movz x4, #SIMCTL_HI, lsl #16
+    str x4, [x4]
+    hlt #0
+
+message:
+    .asciz "profile me, please\\n"
+"""
+
+
+class TestCarryAccounting:
+    def test_attribution_is_exact_after_flush(self):
+        profiler = GuestProfiler(interval_cycles=100)
+        profiler.account("core0", 250, ("a",))
+        profiler.account("core0", 149, ("b",))
+        profiler.account("core0", 1, ("c",))
+        profiler.flush()
+        assert sum(profiler.stacks.values()) == 400
+        assert profiler.total_cycles == 400
+
+    def test_sampling_respects_interval(self):
+        profiler = GuestProfiler(interval_cycles=100)
+        # 250 cycles at 'a': two full samples land on a, 50 carry over.
+        profiler.account("core0", 250, ("a",))
+        assert profiler.stacks == {("a",): 200}
+        # 60 more at 'b': the 110-cycle carry yields one sample at b.
+        profiler.account("core0", 60, ("b",))
+        assert profiler.stacks == {("a",): 200, ("b",): 100}
+        # Flush attributes the 10-cycle remainder to the last stack seen.
+        profiler.flush()
+        assert profiler.stacks == {("a",): 200, ("b",): 110}
+
+    def test_tracks_are_independent(self):
+        profiler = GuestProfiler(interval_cycles=100)
+        profiler.account("core0", 90, ("a",))
+        profiler.account("core1", 90, ("a",))
+        assert profiler.stacks == {}        # neither carry reached the interval
+        profiler.account("core0", 10, ("a",))
+        assert profiler.stacks == {("a",): 100}
+        profiler.flush()
+        assert sum(profiler.stacks.values()) == 190
+
+    def test_sub_interval_slices_are_never_lost(self):
+        profiler = GuestProfiler(interval_cycles=1000)
+        for _ in range(100):
+            profiler.account("core0", 7, ("tiny",))
+        profiler.flush()
+        assert profiler.stacks == {("tiny",): 700}
+
+    def test_per_symbol_uses_leaf_frame(self):
+        profiler = GuestProfiler(interval_cycles=10)
+        profiler.account("core0", 20, ("vp", "core0", "main"))
+        profiler.account("core0", 10, ("vp", "core0", "helper"))
+        table = profiler.per_symbol()
+        assert table == {"main": 20, "helper": 10}
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            GuestProfiler(interval_cycles=0)
+
+
+class TestFoldedFormat:
+    def test_roundtrip(self):
+        profiler = GuestProfiler(interval_cycles=10)
+        profiler.account("core0", 40, ("vp", "core0", "main"))
+        profiler.account("core0", 20, ("vp", "core0", "main", "helper"))
+        profiler.flush()
+        parsed = parse_folded("\n".join(profiler.folded_lines()))
+        assert parsed == {("vp", "core0", "main"): 40,
+                          ("vp", "core0", "main", "helper"): 20}
+
+    def test_write_folded_file_roundtrip(self, tmp_path):
+        profiler = GuestProfiler(interval_cycles=10)
+        profiler.account("core0", 30, ("a", "b"))
+        profiler.flush()
+        path = str(tmp_path / "out.folded")
+        profiler.write_folded(path)
+        assert parse_folded(open(path).read()) == {("a", "b"): 30}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_folded("just-a-stack-without-a-count\n")
+        with pytest.raises(ValueError):
+            parse_folded("stack not_a_number\n")
+
+    def test_blank_lines_ignored(self):
+        assert parse_folded("\n\na;b 3\n\n") == {("a", "b"): 3}
+
+
+class TestEndToEnd:
+    def test_dhrystone_attribution_within_one_percent(self):
+        """Acceptance bar: per-symbol cycles sum to total retired within 1%."""
+        software = dhrystone_software(2, DhrystoneParams(iterations=500))
+        config = VpConfig(num_cores=2, quantum=SimTime.us(1000))
+        vp = build_platform("aoa", config, software)
+        flight = enable_flight(vp, bundles=False, profile_interval=1000)
+        vp.run(SimTime.ms(5000))
+        flight.profiler.flush()
+        attributed = sum(flight.profiler.stacks.values())
+        retired = vp.total_instructions()
+        assert retired > 0
+        assert abs(attributed - retired) <= retired * 0.01
+        flight.detach()
+
+    def test_interpreter_guest_is_symbolized(self):
+        image = assemble(GUEST, base_address=0x1000)
+        software = GuestSoftware(image=image, mode="interpreter", name="proftest")
+        vp = build_platform("aoa", VpConfig(num_cores=1), software)
+        flight = enable_flight(vp, bundles=False, profile_interval=10)
+        vp.run(SimTime.ms(50))
+        flight.profiler.flush()
+        table = flight.profiler.per_symbol()
+        assert "print_loop" in table
+        assert sum(table.values()) == vp.total_instructions()
+        # Folded lines survive a round-trip through the text format.
+        folded = "\n".join(flight.profiler.folded_lines())
+        assert parse_folded(folded) == flight.profiler.stacks
+        flight.detach()

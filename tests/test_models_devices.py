@@ -370,3 +370,59 @@ class TestSimControl:
 
         kernel.spawn(body)
         kernel.run(SimTime.ms(1))
+
+    def test_panic_stops_with_distinct_reason(self):
+        kernel, simctl, socket = self.make()
+        codes = []
+        simctl.on_panic = codes.append
+
+        def body():
+            yield SimTime.us(1)
+            socket.write_u64(0x20, 0xDEAD)
+            yield SimTime.seconds(10)   # never reached
+
+        kernel.spawn(body)
+        kernel.run(SimTime.seconds(60))
+        assert simctl.panic_requested
+        assert simctl.panic_code == 0xDEAD
+        assert simctl.stop_reason == "panic"
+        assert not simctl.shutdown_requested
+        assert codes == [0xDEAD]
+        assert kernel.now < SimTime.seconds(1)
+
+    def test_shutdown_sets_stop_reason(self):
+        kernel, simctl, socket = self.make()
+
+        def body():
+            yield SimTime.us(1)
+            socket.write_u64(0x00, 0)
+
+        kernel.spawn(body)
+        kernel.run(SimTime.ms(1))
+        assert simctl.stop_reason == "shutdown"
+        assert not simctl.panic_requested
+
+    def test_first_stop_reason_wins(self):
+        kernel, simctl, socket = self.make()
+
+        def body():
+            yield SimTime.us(1)
+            socket.write_u64(0x20, 1)   # panic first...
+            socket.write_u64(0x00, 0)   # ...then a shutdown write lands too
+
+        kernel.spawn(body)
+        kernel.run(SimTime.ms(1))
+        assert simctl.stop_reason == "panic"
+
+    def test_checkpoint_callback(self):
+        kernel, simctl, socket = self.make()
+        seen = []
+        simctl.on_checkpoint = lambda value, when: seen.append((value, when))
+
+        def body():
+            yield SimTime.us(3)
+            socket.write_u64(0x10, 42)
+
+        kernel.spawn(body)
+        kernel.run(SimTime.ms(1))
+        assert seen == [(42, SimTime.us(3))]

@@ -1,6 +1,6 @@
 """Software watchdog and the Listing-1 kick-id filter."""
 
-from repro.core.watchdog import KickGuard, UnguardedKick, Watchdog
+from repro.core.watchdog import KickGuard, UnguardedKick, Watchdog, WatchdogFire
 
 
 class TestWatchdog:
@@ -47,6 +47,64 @@ class TestWatchdog:
         assert fired == ["first", "second"]
 
 
+class TestFireNotifications:
+    def test_listener_gets_kick_id_and_budget(self):
+        watchdog = Watchdog()
+        fires = []
+        watchdog.add_fire_listener(fires.append)
+        watchdog.schedule(2, now_ns=10, timeout_ns=90, callback=lambda: None,
+                          kick_id=7, budget_ns=90)
+        watchdog.advance(2, 125)
+        assert len(fires) == 1
+        fire = fires[0]
+        assert isinstance(fire, WatchdogFire)
+        assert fire.core_id == 2
+        assert fire.kick_id == 7
+        assert fire.budget_ns == 90
+        assert fire.deadline_ns == 100
+        assert fire.fired_at_ns == 125
+        assert fire.margin_ns == 25
+
+    def test_raw_timers_report_none_metadata(self):
+        watchdog = Watchdog()
+        fires = []
+        watchdog.add_fire_listener(fires.append)
+        watchdog.schedule(0, 0, 10, lambda: None)
+        watchdog.advance(0, 10)
+        assert fires[0].kick_id is None
+        assert fires[0].budget_ns is None
+
+    def test_kickguard_arm_fills_metadata(self):
+        guard = KickGuard(lambda: None)
+        guard.next_run()
+        guard.next_run()
+        watchdog = Watchdog()
+        fires = []
+        watchdog.add_fire_listener(fires.append)
+        guard.arm(watchdog, 1, now_ns=0, timeout_ns=50)
+        watchdog.advance(1, 50)
+        assert fires[0].kick_id == 2
+        assert fires[0].budget_ns == 50
+
+    def test_listener_removal(self):
+        watchdog = Watchdog()
+        fires = []
+        watchdog.add_fire_listener(fires.append)
+        watchdog.remove_fire_listener(fires.append)
+        watchdog.schedule(0, 0, 10, lambda: None)
+        watchdog.advance(0, 10)
+        assert fires == []
+
+    def test_cancelled_timer_does_not_notify(self):
+        watchdog = Watchdog()
+        fires = []
+        watchdog.add_fire_listener(fires.append)
+        entry = watchdog.schedule(0, 0, 10, lambda: None)
+        watchdog.cancel(entry)
+        watchdog.advance(0, 100)
+        assert fires == []
+
+
 class TestKickGuard:
     def test_matching_id_delivers_signal(self):
         signals = []
@@ -87,6 +145,34 @@ class TestKickGuard:
         watchdog.advance(0, now + 1000)
         assert signals == []
         assert guard.num_kicks_filtered == 10
+
+    def test_repeat_kick_flags_wedged_core(self):
+        """Two delivered kicks for one run id: SIGUSR1 failed to end KVM_RUN."""
+        wedges = []
+        guard = KickGuard(lambda: None)
+        guard.on_repeat_kick = wedges.append
+        watchdog = Watchdog()
+        guard.arm(watchdog, 0, now_ns=0, timeout_ns=10)
+        guard.arm(watchdog, 0, now_ns=0, timeout_ns=20)
+        watchdog.advance(0, 10)
+        assert guard.num_repeat_kicks == 0       # first delivery is normal
+        watchdog.advance(0, 20)
+        assert guard.num_repeat_kicks == 1
+        assert wedges == [0]
+
+    def test_normal_requeue_is_not_a_repeat(self):
+        """Delivered kicks for *different* run ids never count as a wedge."""
+        guard = KickGuard(lambda: None)
+        wedges = []
+        guard.on_repeat_kick = wedges.append
+        watchdog = Watchdog()
+        for _ in range(5):
+            guard.arm(watchdog, 0, 0, 10)
+            watchdog.advance(0, 10)
+            guard.next_run()
+        assert guard.num_kicks_delivered == 5
+        assert guard.num_repeat_kicks == 0
+        assert wedges == []
 
 
 class TestUnguardedKick:
