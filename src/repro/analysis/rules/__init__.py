@@ -9,6 +9,7 @@ RPR003    mutable default arguments; set-iteration order dependence in kernel co
 RPR004    incomplete ``SimulateAction`` handling on ``SimulateResult`` consumers
 RPR005    overlapping constant address ranges passed to ``Router.map``
 RPR006    ``print()`` in simulation paths (stdout belongs to entry points)
+RPR007    raw ``GenericPayload`` construction outside ``repro.fabric``/``repro.tlm``
 ========  =====================================================================
 """
 
@@ -16,10 +17,11 @@ from . import (  # noqa: F401
     addrmap,
     blocking,
     mutable_defaults,
+    payloads,
     print_output,
     simresult,
     wallclock,
 )
 
-__all__ = ["addrmap", "blocking", "mutable_defaults", "print_output",
-           "simresult", "wallclock"]
+__all__ = ["addrmap", "blocking", "mutable_defaults", "payloads",
+           "print_output", "simresult", "wallclock"]

@@ -1,0 +1,66 @@
+"""RPR007 — raw ``GenericPayload`` construction outside the fabric.
+
+Every initiator-side memory access is supposed to go through
+:class:`repro.fabric.MemoryPort`: it pools payloads (no per-transaction
+allocation), promotes hot targets to DMI, and is the seam telemetry and
+the sanitizers observe.  Code that builds ``GenericPayload.read(...)`` /
+``GenericPayload.write(...)`` (or calls the class directly) bypasses all
+of that — it re-grows the exact hot-path overhead the fabric removed and
+its accesses are invisible to the fabric's counters.
+
+Exempt:
+
+* ``tlm/`` and ``fabric/`` package directories — they *implement* the
+  payload lifecycle (the pool, the sockets' convenience constructors,
+  the port itself);
+* ``analysis/`` — the lint/sanitizer layer talks about payloads.
+
+Targets, interconnects and tests may still build payloads freely: the
+rule only guards initiator-side *construction*, which is recognizable as
+a call through the ``GenericPayload`` name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import LintContext, Rule, SourceModule, register
+from ..findings import Finding, Severity
+
+
+@register
+class RawPayloadRule(Rule):
+    rule_id = "RPR007"
+    title = "raw GenericPayload construction outside the fabric"
+    severity = Severity.WARNING
+
+    #: packages that implement the payload lifecycle
+    allowed_dirs = ("tlm", "fabric", "analysis")
+
+    def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        if module.in_package_dir(*self.allowed_dirs):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # GenericPayload(...) — direct construction.
+            if isinstance(func, ast.Name) and func.id == "GenericPayload":
+                yield self._finding(module, node, "GenericPayload(...)")
+            # GenericPayload.read(...) / GenericPayload.write(...).
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr in ("read", "write")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "GenericPayload"):
+                yield self._finding(
+                    module, node, f"GenericPayload.{func.attr}(...)")
+
+    def _finding(self, module: SourceModule, node: ast.AST,
+                 what: str) -> Finding:
+        return self.finding(
+            module, node,
+            f"initiator code builds {what} directly; route the access "
+            "through repro.fabric.MemoryPort (pooled payloads, DMI fast "
+            "path, observable by telemetry) instead",
+        )

@@ -25,8 +25,6 @@ from ..host.params import DEFAULT_SIM_COSTS, IssCostParams, SimulationCostParams
 from ..iss.dbt import DbtCostModel
 from ..iss.executor import ExitReason
 from ..systemc.module import Module
-from ..systemc.time import SimTime
-from ..tlm.payload import GenericPayload
 from ..tlm.quantum import GlobalQuantum
 from ..vcml.processor import Processor, SimulateAction, SimulateResult
 
@@ -90,24 +88,23 @@ class IssCpu(Processor):
         raise RuntimeError(f"{self.name}: ISS error at pc=0x{info.pc:x}: {info.message}")
 
     def _handle_mmio(self, request) -> int:
-        """Device access: a direct in-process TLM call, no world switch."""
+        """Device access: an in-process fabric access, no world switch."""
         self.num_mmio += 1
         if request.is_write:
-            payload = GenericPayload.write(request.address, request.data, self.core_id)
+            result = self.mem.write(request.address, request.data)
         else:
-            payload = GenericPayload.read(request.address, request.size, self.core_id)
-        delay = self.data_socket.b_transport(payload, SimTime.zero())
+            result = self.mem.read(request.address, request.size)
         self.bill_host_time(self.sim_costs.peripheral_access_ns, "mmio", main_thread=True)
         if self.parallel:
             self.bill_host_time(self.sim_costs.parallel_mmio_shift_ns, "mmio", main_thread=True)
             self.bill_host_time(self.sim_costs.parallel_mmio_shift_ns, "mmio")
-        if payload.response_status.is_ok:
-            data = bytes(payload.data) if not request.is_write else None
+        if result.ok:
+            data = result.data if not request.is_write else None
         else:
             self.num_bus_errors += 1
             data = bytes(request.size) if not request.is_write else None
         self.executor.complete_mmio(data)
-        return self.time_to_cycles(delay)
+        return self.time_to_cycles(result.delay)
 
     def _charge(self, mmio_exits: int = 0, wfi_exits: int = 0) -> None:
         nanoseconds = self.cost_model.charge(self.executor.sample_stats(),

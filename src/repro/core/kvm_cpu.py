@@ -32,8 +32,6 @@ from typing import Callable, Optional
 from ..host.params import DEFAULT_KVM_COSTS, DEFAULT_SIM_COSTS, KvmCostParams, SimulationCostParams
 from ..kvm.api import KvmExitReason, Vcpu
 from ..systemc.module import Module
-from ..systemc.time import SimTime
-from ..tlm.payload import GenericPayload
 from ..tlm.quantum import GlobalQuantum
 from ..vcml.processor import Processor, SimulateAction, SimulateResult
 from .watchdog import KickGuard, Watchdog
@@ -128,13 +126,12 @@ class KvmCpu(Processor):
 
     # -- exit handlers ----------------------------------------------------------------
     def _handle_mmio(self, request) -> int:
-        """Forward the trapped access as a TLM transaction (main thread)."""
+        """Forward the trapped access through the fabric port (main thread)."""
         self.num_mmio += 1
         if request.is_write:
-            payload = GenericPayload.write(request.address, request.data, self.core_id)
+            result = self.mem.write(request.address, request.data)
         else:
-            payload = GenericPayload.read(request.address, request.size, self.core_id)
-        delay = self.data_socket.b_transport(payload, SimTime.zero())
+            result = self.mem.read(request.address, request.size)
         # Host cost: the exit already paid entry/exit; add the user-space
         # round trip, the peripheral model, and (in parallel mode) the shift
         # of the access back into the main thread [16].
@@ -145,8 +142,8 @@ class KvmCpu(Processor):
             self.bill_host_time(self.sim_costs.parallel_mmio_shift_ns, "mmio", main_thread=True)
             self.bill_host_time(self.sim_costs.parallel_mmio_shift_ns, "mmio")
             self.host_now_ns += self.sim_costs.parallel_mmio_shift_ns
-        if payload.response_status.is_ok:
-            data = bytes(payload.data) if not request.is_write else None
+        if result.ok:
+            data = result.data if not request.is_write else None
         else:
             # Bus error: reads complete as zeros (matching how VPs usually
             # survive stray accesses); counted for diagnostics.
@@ -154,7 +151,7 @@ class KvmCpu(Processor):
             data = bytes(request.size) if not request.is_write else None
         self.vcpu.complete_mmio(data)
         # The transaction's annotated delay advances target time.
-        return self.time_to_cycles(delay)
+        return self.time_to_cycles(result.delay)
 
     def _handle_emulation(self) -> int:
         """User-space emulation of a host-unsupported instruction (§VI).

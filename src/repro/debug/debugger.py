@@ -26,7 +26,6 @@ from typing import Dict, List, Optional, Set, Union
 from ..arch.disasm import disassemble_range
 from ..arch.isa import SysReg
 from ..systemc.time import SimTime
-from ..tlm.payload import GenericPayload
 
 
 class StopReason(enum.Enum):
@@ -119,12 +118,11 @@ class Debugger:
 
     def _complete_mmio(self, request) -> None:
         if request.is_write:
-            payload = GenericPayload.write(request.address, request.data)
+            result = self.cpu.mem.write(request.address, request.data)
         else:
-            payload = GenericPayload.read(request.address, request.size)
-        self.cpu.data_socket.b_transport(payload, SimTime.zero())
-        data = bytes(payload.data) if not request.is_write else None
-        if not payload.response_status.is_ok:
+            result = self.cpu.mem.read(request.address, request.size)
+        data = result.data if not request.is_write else None
+        if not result.ok:
             data = bytes(request.size) if not request.is_write else None
         self.executor.complete_mmio(data)
 
@@ -172,15 +170,14 @@ class Debugger:
         return {reg.name.lower(): self.state.read_sysreg(reg) for reg in SysReg}
 
     def read_memory(self, address: int, length: int) -> bytes:
-        """Side-effect-free memory read through debug transport."""
-        payload = GenericPayload.read(address, length)
-        if self.cpu.data_socket.transport_dbg(payload) != length:
+        """Side-effect-free memory read through the fabric's debug path."""
+        data = self.cpu.mem.dbg_read(address, length)
+        if data is None:
             raise IOError(f"debug read of {length} bytes at 0x{address:x} failed")
-        return bytes(payload.data)
+        return data
 
     def write_memory(self, address: int, data: bytes) -> None:
-        payload = GenericPayload.write(address, data)
-        if self.cpu.data_socket.transport_dbg(payload) != len(data):
+        if self.cpu.mem.dbg_write(address, data) != len(data):
             raise IOError(f"debug write of {len(data)} bytes at 0x{address:x} failed")
 
     def disassemble(self, location: Union[int, str, None] = None,

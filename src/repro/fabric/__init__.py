@@ -1,0 +1,58 @@
+"""repro.fabric — the unified memory hot path.
+
+The paper's speedups hinge on guest memory traffic being cheap: DMI-backed
+KVM memory slots make native load/stores free, and each MMIO trap costs one
+low-overhead TLM round trip (Fig. 3, §IV).  ``repro.fabric`` is the
+Python-side equivalent: a single :class:`MemoryPort` access layer that
+every initiator — KvmCpu MMIO completion, IssCpu load/store, the debugger's
+peek/poke, and the guest-image loader — goes through, backed by three
+shared mechanisms:
+
+1. a **decode cache** in :class:`repro.vcml.Router` (sorted ``bisect``
+   decode + per-initiator last-mapping cache with generation-counter
+   invalidation);
+2. a **payload pool** (:class:`repro.tlm.PayloadPool`) so the hot path
+   stops allocating a fresh ``GenericPayload`` per transaction;
+3. a **DMI fast path**: repeated ``b_transport`` targets that advertise
+   DMI are transparently promoted to direct :class:`~repro.tlm.dmi.
+   DmiRegion` access, demoted again on invalidation.
+
+All three mechanisms are *mechanically* invisible: the same bytes move,
+the same delays are annotated, and the kernel dispatch order — the DET001
+determinism digest — is byte-identical with the fabric on or off.
+:func:`legacy_memory_path` flips every switch back to the pre-fabric
+behaviour so tests (and the fabric microbenchmark) can prove exactly that.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from .port import AccessResult, MemoryPort
+
+
+@contextlib.contextmanager
+def legacy_memory_path():
+    """Disable every fabric mechanism for the scope — the pre-fabric path.
+
+    Restores linear router decode, fresh per-transaction payloads, and
+    transport-only access (no DMI promotion).  Used by the A/B determinism
+    test and the ``benchmarks/fabric_microbench.py`` baseline leg; affects
+    only ports and routers *used* inside the scope (the switches are read
+    per access, not captured at construction).
+    """
+    from ..vcml.router import Router
+
+    saved = (Router.decode_cache_enabled, MemoryPort.pooling_enabled,
+             MemoryPort.dmi_promotion_enabled)
+    Router.decode_cache_enabled = False
+    MemoryPort.pooling_enabled = False
+    MemoryPort.dmi_promotion_enabled = False
+    try:
+        yield
+    finally:
+        (Router.decode_cache_enabled, MemoryPort.pooling_enabled,
+         MemoryPort.dmi_promotion_enabled) = saved
+
+
+__all__ = ["AccessResult", "MemoryPort", "legacy_memory_path"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Callable, Deque, Generator, List, Optional
+from typing import Callable, Deque, Generator, List, Optional, Set
 
 from .event import Event
 from .process import MethodProcess, Process, ProcessState
@@ -89,6 +89,7 @@ class Kernel:
         self._processes: List[Process] = []
         self._methods: Deque[MethodProcess] = deque()
         self._update_requests: List = []
+        self._update_request_ids: Set[int] = set()
         self._stop_requested = False
         self._running = False
         self._current_process: Optional[Process] = None
@@ -166,9 +167,14 @@ class Kernel:
         self._methods.append(method)
 
     def request_update(self, channel) -> None:
-        """Primitive-channel update request (``sc_prim_channel``)."""
-        if channel not in self._update_requests:
+        """Primitive-channel update request (``sc_prim_channel``).
+
+        Deduplicated by identity in O(1); the list keeps first-request
+        order, which is the order ``_update()`` calls run in.
+        """
+        if id(channel) not in self._update_request_ids:
             self._update_requests.append(channel)
+            self._update_request_ids.add(id(channel))
 
     # -- control ---------------------------------------------------------------
     def stop(self) -> None:
@@ -237,6 +243,7 @@ class Kernel:
                 return
         # Update phase.
         updates, self._update_requests = self._update_requests, []
+        self._update_request_ids.clear()
         for channel in updates:
             channel._update()
         # Delta notification phase.

@@ -23,6 +23,9 @@ WFI / ``WAIT_IRQ``     suspend counter, idle cycles skipped, suspend→resume
                        span pairs on the simulated-time axis
 ``QuantumKeeper``      sync counter and quantum-utilization histogram (local
                        offset at sync / global quantum)
+``MemoryPort``         fabric access counters keyed by the path that served
+                       each access (DMI fast path / blocking transport /
+                       debug transport), plus a failed-access counter
 ``Kernel``             scheduler dispatch counters and a runnable-queue depth
                        gauge, chained through the per-instance ``trace_hook``
                        seam without disturbing the class-level determinism
@@ -203,6 +206,18 @@ class Telemetry:
             return simulate
 
         self._wrap(cpu, "simulate", make_simulate)
+
+        # Fabric port: which path (dmi / transport / debug) served each
+        # access.  The observer slot is a plain undoable set — MemoryPort
+        # ships with on_access=None, so there is no original to chain.
+        mem = getattr(cpu, "mem", None)
+        if mem is not None:
+            def on_access(path: str, ok: bool) -> None:
+                registry.counter("fabric.accesses", core=core, path=path).inc()
+                if not ok:
+                    registry.counter("fabric.errors", core=core, path=path).inc()
+
+            self._wraps.set(mem, "on_access", on_access)
 
         # KVM-specific probes (duck-typed: IssCpu has no vcpu/kick path).
         vcpu = getattr(cpu, "vcpu", None)

@@ -7,6 +7,7 @@ and the baseline ISS model both program against.
 
 from .dmi import DmiAccess, DmiManager, DmiRegion
 from .payload import Command, GenericPayload, ResponseStatus, TlmError
+from .pool import PayloadPool
 from .quantum import GlobalQuantum, QuantumKeeper
 from .sockets import InitiatorSocket, TargetSocket
 
@@ -18,6 +19,7 @@ __all__ = [
     "GenericPayload",
     "GlobalQuantum",
     "InitiatorSocket",
+    "PayloadPool",
     "QuantumKeeper",
     "ResponseStatus",
     "TargetSocket",

@@ -17,6 +17,7 @@ registered callbacks (``invalidate_direct_mem_ptr``).
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from typing import Callable, List, Optional
 
 
@@ -80,24 +81,65 @@ class DmiRegion:
 
 
 class DmiManager:
-    """Tracks granted DMI regions for one initiator and their invalidation."""
+    """Tracks granted DMI regions for one initiator and their invalidation.
+
+    Regions are kept interval-sorted by start address so :meth:`lookup` can
+    bisect instead of scanning, with a small MRU "front cache" checked first
+    — repeated accesses to the same region (the common case on the memory
+    hot path) resolve in one containment test.  A :attr:`generation`
+    counter bumps on every mutation so callers caching lookup results
+    (e.g. :class:`repro.fabric.MemoryPort`) can validate cheaply.
+    """
+
+    #: how many recently-hit regions the front cache remembers
+    FRONT_CACHE_SIZE = 4
 
     def __init__(self):
-        self._regions: List[DmiRegion] = []
+        self._regions: List[DmiRegion] = []      # sorted by (start, end)
+        self._starts: List[int] = []             # parallel bisect key list
+        self._front: List[DmiRegion] = []        # MRU-ordered recent hits
         self._invalidation_callbacks: List[Callable[[int, int], None]] = []
+        #: bumped on add()/invalidate(); external caches key on this
+        self.generation = 0
+        # Statistics (diagnostics only).
+        self.num_lookups = 0
+        self.num_front_hits = 0
+        self.num_misses = 0
+
+    @staticmethod
+    def _usable(region: DmiRegion, address: int, length: int, write: bool) -> bool:
+        if not region.contains(address, length):
+            return False
+        return region.allows_write() if write else region.allows_read()
 
     def add(self, region: DmiRegion) -> DmiRegion:
-        self._regions.append(region)
+        index = bisect_right(self._starts, region.start)
+        self._regions.insert(index, region)
+        self._starts.insert(index, region.start)
+        self.generation += 1
         return region
 
     def lookup(self, address: int, length: int = 1, write: bool = False) -> Optional[DmiRegion]:
-        for region in self._regions:
-            if region.contains(address, length):
-                if write and not region.allows_write():
-                    continue
-                if not write and not region.allows_read():
-                    continue
+        self.num_lookups += 1
+        front = self._front
+        for index, region in enumerate(front):
+            if self._usable(region, address, length, write):
+                self.num_front_hits += 1
+                if index:
+                    front.insert(0, front.pop(index))
                 return region
+        # Bisect for the rightmost region starting at or before `address`.
+        # Regions with distinct access rights may overlap, so a failed
+        # candidate falls back to walking left through earlier starters.
+        index = bisect_right(self._starts, address) - 1
+        while index >= 0:
+            region = self._regions[index]
+            if self._usable(region, address, length, write):
+                front.insert(0, region)
+                del front[self.FRONT_CACHE_SIZE:]
+                return region
+            index -= 1
+        self.num_misses += 1
         return None
 
     def on_invalidate(self, callback: Callable[[int, int], None]) -> None:
@@ -112,6 +154,9 @@ class DmiManager:
             else:
                 dropped += 1
         self._regions = kept
+        self._starts = [r.start for r in kept]
+        self._front = [r for r in self._front if r in kept]
+        self.generation += 1
         if dropped:
             for callback in self._invalidation_callbacks:
                 callback(start, end)

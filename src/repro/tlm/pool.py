@@ -1,0 +1,106 @@
+"""Reusable-payload free list (VCML's payload pooling, in Python).
+
+Every MMIO round trip, ISS load/store, debugger peek and loader write used
+to allocate a fresh :class:`~repro.tlm.payload.GenericPayload` plus its
+backing ``bytearray``, pay the enum/default initialisation, and throw both
+away one call later.  VCML solves this in C++ with a per-initiator payload
+pool; this is the same idea: :meth:`acquire_read`/:meth:`acquire_write`
+hand out a fully *reset* payload (command, address, data, byte enables,
+DMI hint, response status — everything a target could have touched),
+:meth:`release` returns it to the free list.
+
+Resetting on acquire rather than on release keeps the pool safe against
+payloads that escape (e.g. a payload attached to a raised
+:class:`~repro.tlm.payload.TlmError` is simply never released and the pool
+forgets about it).
+
+The pool is a mechanism of :mod:`repro.fabric`; initiator code should not
+build raw payloads itself (lint rule RPR007 flags that as a pool bypass).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .payload import Command, GenericPayload, ResponseStatus
+
+
+class PayloadPool:
+    """A bounded free list of reusable :class:`GenericPayload` objects."""
+
+    def __init__(self, max_free: int = 64):
+        if max_free < 0:
+            raise ValueError(f"pool max_free must be >= 0, got {max_free}")
+        self.max_free = max_free
+        self._free: List[GenericPayload] = []
+        # Statistics (diagnostics only; never consulted by transport logic).
+        self.num_acquires = 0
+        self.num_reuses = 0
+        self.num_releases = 0
+        self.num_discards = 0
+
+    # -- acquire / release ---------------------------------------------------
+    def _acquire(self) -> GenericPayload:
+        self.num_acquires += 1
+        if self._free:
+            self.num_reuses += 1
+            return self._free.pop()
+        return GenericPayload()
+
+    def acquire_read(self, address: int, length: int,
+                     initiator_id: int = 0) -> GenericPayload:
+        """A READ payload with a zeroed ``length``-byte data buffer."""
+        payload = self._acquire()
+        payload.command = Command.READ
+        payload.address = address
+        payload.data[:] = bytes(length)
+        payload.byte_enable = None
+        payload.streaming_width = length
+        payload.dmi_allowed = False
+        payload.response_status = ResponseStatus.INCOMPLETE
+        payload.initiator_id = initiator_id
+        payload.is_debug = False
+        return payload
+
+    def acquire_write(self, address: int, data: bytes,
+                      initiator_id: int = 0) -> GenericPayload:
+        """A WRITE payload carrying a copy of ``data``."""
+        payload = self._acquire()
+        payload.command = Command.WRITE
+        payload.address = address
+        payload.data[:] = data
+        payload.byte_enable = None
+        payload.streaming_width = len(payload.data)
+        payload.dmi_allowed = False
+        payload.response_status = ResponseStatus.INCOMPLETE
+        payload.initiator_id = initiator_id
+        payload.is_debug = False
+        return payload
+
+    def release(self, payload: Optional[GenericPayload]) -> None:
+        """Return ``payload`` to the free list (drop it once the list is full)."""
+        if payload is None:
+            return
+        self.num_releases += 1
+        if len(self._free) < self.max_free:
+            self._free.append(payload)
+        else:
+            self.num_discards += 1
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def stats(self) -> dict:
+        return {
+            "acquires": self.num_acquires,
+            "reuses": self.num_reuses,
+            "releases": self.num_releases,
+            "discards": self.num_discards,
+            "free": len(self._free),
+        }
+
+    def __repr__(self) -> str:
+        return (f"PayloadPool(free={len(self._free)}/{self.max_free}, "
+                f"reuse={self.num_reuses}/{self.num_acquires})")

@@ -76,6 +76,9 @@ class Memory(Component):
         if not self._in_range(payload):
             payload.set_error(ResponseStatus.ADDRESS_ERROR)
             return delay
+        # TLM-2.0 DMI hint: this target would grant direct access for the
+        # address — repro.fabric.MemoryPort promotes on repeated hints.
+        payload.dmi_allowed = True
         address = payload.address
         if payload.is_read:
             payload.data[:] = self.data[address:address + payload.length]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Optional
 
+from ..fabric.port import MemoryPort
 from ..systemc.module import Module
 from ..systemc.signal import IrqLine
 from ..systemc.time import SimTime
@@ -73,6 +74,9 @@ class Processor(Component):
         self.core_id = core_id
         self.parallel = parallel
         self.data_socket = InitiatorSocket(f"{self.name}.data", initiator_id=core_id)
+        #: the unified fabric access layer; all data-side memory traffic
+        #: (MMIO completion, debugger peek/poke) goes through here
+        self.mem = MemoryPort(self.data_socket)
         self.keeper = QuantumKeeper(global_quantum, self.kernel)
         self.irq_event = self.sc_event("irq")
         self.irq_lines: Dict[int, IrqLine] = {}

@@ -4,11 +4,28 @@ Maps global address ranges onto target sockets, rebasing the transaction
 address into the target's local space.  DMI regions granted by targets are
 rebased back into global addresses before being returned to the initiator,
 so a CPU model sees one coherent global DMI map.
+
+Decode is the memory hot path's first stop, so it is cached twice over
+(see DESIGN.md §11):
+
+* the mapping list is kept sorted by start address and decoded with a
+  ``bisect`` probe instead of a linear scan;
+* each initiator's last successful decode is remembered in a
+  per-initiator cache validated by a generation counter, so repeated
+  accesses to the same device (the overwhelmingly common pattern — console
+  bursts, spin loops, block transfers) decode in one containment test.
+
+The generation counter bumps on :meth:`map` and whenever a target forwards
+a DMI invalidation through the router, conservatively dropping every
+cached decode.  Setting :attr:`Router.decode_cache_enabled` to ``False``
+(see :func:`repro.fabric.legacy_memory_path`) restores the pre-fabric
+linear scan for A/B comparisons.
 """
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+from bisect import bisect_right
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..systemc.module import Module
 from ..systemc.time import SimTime
@@ -51,11 +68,20 @@ class _Mapping(NamedTuple):
 
 
 class Router(Component):
-    """N:1 address-decoding interconnect."""
+    """N:1 address-decoding interconnect with cached decode."""
+
+    #: class-level fabric switch: ``False`` restores the pre-fabric linear
+    #: decode (no bisect, no per-initiator cache) for A/B testing
+    decode_cache_enabled: bool = True
 
     def __init__(self, name: str, parent: Optional[Module] = None):
         super().__init__(name, parent)
         self._mappings: List[_Mapping] = []
+        self._starts: List[int] = []      # parallel bisect key list
+        #: bumped on map() and forwarded DMI invalidations; decode-cache key
+        self._generation = 0
+        #: initiator_id -> (generation, mapping) of the last successful decode
+        self._decode_cache: Dict[int, Tuple[int, _Mapping]] = {}
         self.in_socket = TargetSocket(
             f"{self.name}.in",
             transport_fn=self._b_transport,
@@ -64,6 +90,9 @@ class Router(Component):
             invalidate_hook=self._register_invalidation,
         )
         self._invalidation_callbacks = []
+        # Statistics (diagnostics only).
+        self.num_decode_hits = 0
+        self.num_decode_misses = 0
 
     # -- map construction ------------------------------------------------------
     def map(self, start: int, end: int, target: TargetSocket, local_base: int = 0,
@@ -79,23 +108,63 @@ class Router(Component):
                     f"router {self.name!r}: [0x{start:x}, 0x{end:x}] overlaps "
                     f"{mapping.name or mapping.target.name}"
                 )
-        self._mappings.append(_Mapping(new_range, target, local_base, name or target.name))
-        self._mappings.sort(key=lambda m: m.range.start)
+        mapping = _Mapping(new_range, target, local_base, name or target.name)
+        index = bisect_right(self._starts, start)
+        self._mappings.insert(index, mapping)
+        self._starts.insert(index, start)
+        self._generation += 1
+        # Forward the target's DMI invalidations (rebased into global
+        # addresses) to every initiator callback — including callbacks
+        # registered *before* this mapping existed: the forwarder consults
+        # the live callback list, not a snapshot.
+        self._wire_target_invalidation(mapping)
+
+    def _wire_target_invalidation(self, mapping: _Mapping) -> None:
+        register = getattr(mapping.target, "register_invalidation", None)
+        if register is None:
+            return
+        start, base = mapping.range.start, mapping.local_base
+
+        def forward(lo: int, hi: int) -> None:
+            self._generation += 1          # drop every cached decode
+            for callback in self._invalidation_callbacks:
+                callback(lo - base + start, hi - base + start)
+
+        register(forward)
 
     def mappings(self):
         return list(self._mappings)
 
     def find_mapping(self, address: int, length: int = 1) -> Optional[_Mapping]:
-        for mapping in self._mappings:
+        """Bisect for the mapping containing [address, address+length)."""
+        index = bisect_right(self._starts, address) - 1
+        if index >= 0:
+            mapping = self._mappings[index]
             if mapping.range.contains(address, length):
                 return mapping
         return None
 
     # -- transport ---------------------------------------------------------------
     def _decode(self, payload: GenericPayload) -> Optional[_Mapping]:
-        mapping = self.find_mapping(payload.address, max(1, payload.length))
+        address = payload.address
+        length = max(1, payload.length)
+        if not self.decode_cache_enabled:
+            for mapping in self._mappings:      # the pre-fabric linear scan
+                if mapping.range.contains(address, length):
+                    return mapping
+            payload.set_error(ResponseStatus.ADDRESS_ERROR)
+            return None
+        cached = self._decode_cache.get(payload.initiator_id)
+        if (cached is not None and cached[0] == self._generation
+                and cached[1].range.contains(address, length)):
+            self.num_decode_hits += 1
+            return cached[1]
+        self.num_decode_misses += 1
+        mapping = self.find_mapping(address, length)
         if mapping is None:
             payload.set_error(ResponseStatus.ADDRESS_ERROR)
+        else:
+            self._decode_cache[payload.initiator_id] = (self._generation, mapping)
         return mapping
 
     def _b_transport(self, payload: GenericPayload, delay: SimTime) -> SimTime:
@@ -152,11 +221,6 @@ class Router(Component):
         )
 
     def _register_invalidation(self, callback) -> None:
+        # Targets were wired in map(); the forwarders read this list live,
+        # so late registration and late mapping both just work.
         self._invalidation_callbacks.append(callback)
-        for mapping in self._mappings:
-            register = getattr(mapping.target, "register_invalidation", None)
-            if register is not None:
-                start, base = mapping.range.start, mapping.local_base
-                def rebased(lo, hi, _start=start, _base=base, _cb=callback):
-                    _cb(lo - _base + _start, hi - _base + _start)
-                register(rebased)

@@ -24,6 +24,7 @@ from ..core.iss_cpu import IssCpu
 from ..core.kvm_cpu import KvmCpu
 from ..core.watchdog import Watchdog
 from ..core.wfi import WfiAnnotator, try_annotate
+from ..fabric import MemoryPort
 from ..host.accounting import HostLedger
 from ..host.machine import HostMachine
 from ..iss.executor import GuestMemoryMap
@@ -40,8 +41,8 @@ from ..models.uart import Pl011Uart
 from ..systemc.clock import Clock
 from ..systemc.module import Module, Simulation
 from ..systemc.time import SimTime
-from ..tlm.payload import GenericPayload
 from ..tlm.quantum import GlobalQuantum
+from ..tlm.sockets import InitiatorSocket
 from ..vcml.memory import Memory
 from ..vcml.router import Router
 from .config import MemoryMap, VpConfig
@@ -119,17 +120,24 @@ class VirtualPlatform(Module):
             _wire(self.timer.irq_line(core), self.gic.ppi_in(core, self.IRQ_TIMER_PPI))
 
         # -- guest-physical memory map via TLM-DMI ------------------------------------
+        # The loader is a first-class fabric initiator: its port resolves
+        # RAM's DMI window (the bytes KVM maps as user memory slots) and
+        # writes the guest image through the same access layer the CPU
+        # models and the debugger use.
+        loader_socket = InitiatorSocket(f"{name}.loader", initiator_id=-1)
+        loader_socket.bind(self.bus.in_socket)
+        self.loader = MemoryPort(loader_socket, name=f"{name}.loader")
         self.guest_memory = GuestMemoryMap()
         self.monitor = GlobalMonitor()
-        dmi = self.bus.in_socket.get_direct_mem_ptr(
-            GenericPayload.read(MemoryMap.RAM_BASE, 8))
+        dmi = self.loader.request_dmi(MemoryMap.RAM_BASE, 8)
         if dmi is None:
             raise RuntimeError("RAM does not grant DMI; cannot build guest memory map")
         self.guest_memory.add_slot(dmi.start, dmi.memory)
 
         # -- load the guest image ----------------------------------------------------
         offset = software.load_offset
-        software.image.load_into(lambda addr, blob: self.guest_memory.write(addr + offset, blob))
+        software.image.load_into(
+            lambda addr, blob: self._load_guest_blob(addr + offset, blob))
         self.annotator: Optional[WfiAnnotator] = try_annotate(software.image)
 
         # -- host-time accounting -------------------------------------------------------
@@ -181,6 +189,12 @@ class VirtualPlatform(Module):
             irq_protocol=protocol,
         )
         return PhaseExecutor(software.phase_programs(core), ctx)
+
+    def _load_guest_blob(self, address: int, blob: bytes) -> None:
+        written = self.loader.dbg_write(address, bytes(blob))
+        if written != len(blob):
+            raise RuntimeError(
+                f"guest image load failed: wrote {written}/{len(blob)} bytes at 0x{address:x}")
 
     # -- lifecycle -----------------------------------------------------------------
     def _core_halted(self, cpu) -> None:

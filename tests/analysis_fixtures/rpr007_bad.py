@@ -1,0 +1,17 @@
+"""Fixture: RPR007 must fire — initiator builds raw payloads."""
+
+from repro.tlm.payload import GenericPayload
+
+
+class CpuModel:
+    def handle_mmio(self, request):
+        if request.is_write:
+            payload = GenericPayload.write(request.address, request.data)
+        else:
+            payload = GenericPayload.read(request.address, request.size)
+        return self.data_socket.b_transport(payload, self.delay)
+
+    def probe(self, address):
+        payload = GenericPayload()
+        payload.address = address
+        return self.data_socket.get_direct_mem_ptr(payload)

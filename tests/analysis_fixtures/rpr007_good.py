@@ -1,0 +1,16 @@
+"""Fixture: RPR007 must stay silent — accesses go through the fabric."""
+
+
+class CpuModel:
+    def handle_mmio(self, request):
+        if request.is_write:
+            return self.mem.write(request.address, request.data)
+        return self.mem.read(request.address, request.size)
+
+    def peek(self, address, length):
+        # debug path rides the fabric too
+        return self.mem.dbg_read(address, length)
+
+    def read(self, address, length):
+        # methods merely *named* read/write on other objects are fine
+        return self.cache.read(address, length)

@@ -142,6 +142,43 @@ def test_rpr006_clean_on_real_source_tree():
     assert findings == []
 
 
+# -- RPR007: raw GenericPayload construction outside the fabric ---------------------
+
+def test_rpr007_fires_on_raw_payload_construction():
+    findings, rules = rules_fired(FIXTURES / "rpr007_bad.py", select=["RPR007"])
+    assert rules == {"RPR007"}
+    messages = " ".join(finding.message for finding in findings)
+    assert "GenericPayload.write(...)" in messages
+    assert "GenericPayload.read(...)" in messages
+    assert "GenericPayload(...)" in messages
+    assert len(findings) == 3
+
+
+def test_rpr007_silent_on_fabric_port_usage():
+    _, rules = rules_fired(FIXTURES / "rpr007_good.py", select=["RPR007"])
+    assert rules == set()
+
+
+def test_rpr007_exempts_payload_lifecycle_dirs(tmp_path):
+    source = ("from repro.tlm.payload import GenericPayload\n"
+              "payload = GenericPayload.read(0x1000, 4)\n")
+    (tmp_path / "tlm").mkdir()
+    (tmp_path / "tlm" / "pool.py").write_text(source)
+    (tmp_path / "fabric").mkdir()
+    (tmp_path / "fabric" / "port.py").write_text(source)
+    (tmp_path / "models").mkdir()
+    (tmp_path / "models" / "dma.py").write_text(source)
+    findings = lint_paths([str(tmp_path)], select=["RPR007"])
+    assert len(findings) == 1
+    assert findings[0].path.endswith("models/dma.py")
+
+
+def test_rpr007_clean_on_real_source_tree():
+    src = Path(__file__).parent.parent / "src" / "repro"
+    findings = lint_paths([str(src)], select=["RPR007"])
+    assert findings == []
+
+
 # -- suppression comments ----------------------------------------------------------
 
 def test_suppression_comment_silences_one_line(tmp_path):

@@ -398,6 +398,51 @@ class TestIrqLine:
         assert seen == [True, False]
 
 
+class TestUpdateRequests:
+    def test_duplicate_requests_coalesce_in_first_request_order(self, kernel):
+        log = []
+
+        class Channel:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def _update(self):
+                log.append(self.tag)
+
+        a, b, c = Channel("a"), Channel("b"), Channel("c")
+
+        def proc():
+            kernel.request_update(a)
+            kernel.request_update(b)
+            kernel.request_update(a)   # duplicate: one update, first position
+            kernel.request_update(c)
+            kernel.request_update(b)
+            yield SimTime.ns(1)
+
+        kernel.spawn(proc)
+        kernel.run()
+        assert log == ["a", "b", "c"]
+
+    def test_channel_can_request_again_in_a_later_delta(self, kernel):
+        updates = []
+
+        class Channel:
+            def _update(self):
+                updates.append(kernel.now.picoseconds)
+
+        channel = Channel()
+
+        def proc():
+            kernel.request_update(channel)
+            yield SimTime.ns(1)
+            kernel.request_update(channel)
+            yield SimTime.ns(1)
+
+        kernel.spawn(proc)
+        kernel.run()
+        assert len(updates) == 2
+
+
 class TestProcessState:
     def test_finished_process_state(self, kernel):
         def body():

@@ -151,6 +151,15 @@ class TestMetricsCapture:
                 + registry.total("kvm.exits", reason="mmio")
                 == vp.total_instructions())
 
+    def test_fabric_access_counters(self):
+        vp, telemetry = run_instrumented()
+        registry = telemetry.registry
+        mem = vp.cpus[0].mem
+        # UART/simctl stores ride the transport path of the fabric port.
+        assert registry.total("fabric.accesses", path="transport") >= 11
+        assert registry.total("fabric.accesses") == (
+            mem.num_dmi_hits + mem.num_transports + mem.num_debug_accesses)
+
     def test_mmio_roundtrip_histogram_populated(self):
         _, telemetry = run_instrumented()
         (histogram,) = telemetry.registry.series_of("kvm.mmio_roundtrip_ns")
@@ -249,7 +258,9 @@ class TestTransparency:
         }
         telemetry = enable_telemetry(vp)
         assert cpu.simulate is not before["simulate"]
+        assert cpu.mem.on_access is not None
         telemetry.detach()
+        assert cpu.mem.on_access is None
         assert cpu.simulate == before["simulate"]
         assert cpu.keeper.sync_wait == before["sync_wait"]
         assert cpu.vcpu.run == before["run"]
