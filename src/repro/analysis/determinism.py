@@ -97,15 +97,22 @@ class DeterminismReport:
 
 
 def trace_run(action: Callable[[], object]) -> KernelTrace:
-    """Run ``action`` with the kernel trace hook installed."""
-    if Kernel.trace_hook is not None:
+    """Run ``action`` with the kernel trace hook installed.
+
+    The digester registers at ``Kernel.TRACE_PRIORITY_DIGEST`` on the
+    class-level trace-hook chain, so context taggers (e.g. the SAN005
+    lane/window tagger at ``TRACE_PRIORITY_TAGGER``) always observe each
+    dispatch first — attach order does not matter, and the recorded digest
+    is identical with or without other observers attached.
+    """
+    if Kernel.trace_hooks_at(Kernel.TRACE_PRIORITY_DIGEST):
         raise RuntimeError("a kernel trace is already being recorded")
     trace = KernelTrace()
-    Kernel.trace_hook = trace.record
+    handle = Kernel.add_trace_hook(trace.record, Kernel.TRACE_PRIORITY_DIGEST)
     try:
         action()
     finally:
-        Kernel.trace_hook = None
+        Kernel.remove_trace_hook(handle)
     return trace
 
 

@@ -81,6 +81,11 @@ class Rule:
     rule_id = "RPR000"
     title = "unnamed rule"
     severity = Severity.ERROR
+    #: rules with ``default = False`` only run when selected explicitly
+    #: (``--select``) or through a dedicated CLI mode (``--race``); the
+    #: plain lint pass skips them so baseline-gated analyses do not fail
+    #: runs that never loaded the baseline
+    default = True
 
     def prescan(self, ctx: LintContext, module: SourceModule) -> None:
         """First pass over every module; build cross-file state in ``ctx``."""
@@ -90,7 +95,7 @@ class Rule:
 
     # -- helpers --------------------------------------------------------------
     def finding(self, module: SourceModule, node: ast.AST, message: str,
-                context: str = "") -> Finding:
+                context: str = "", fingerprint: str = "") -> Finding:
         return Finding(
             rule=self.rule_id,
             severity=self.severity,
@@ -98,6 +103,7 @@ class Rule:
             line=getattr(node, "lineno", 0),
             message=message,
             context=context,
+            fingerprint=fingerprint,
         )
 
 
@@ -124,7 +130,10 @@ class LintEngine:
     def __init__(self, select: Optional[Sequence[str]] = None,
                  ignore: Optional[Sequence[str]] = None):
         available = registered_rules()
-        wanted = set(select) if select else set(available)
+        if select:
+            wanted = set(select)
+        else:
+            wanted = {rule_id for rule_id, rule in available.items() if rule.default}
         wanted -= set(ignore or ())
         unknown = wanted - set(available)
         if unknown:

@@ -1,0 +1,462 @@
+"""Cross-lane reachability model for the race rules (RPR008–RPR010).
+
+The paper's parallel scheme runs one *lane* per simulated core: each core's
+``simulate(cycles)`` leg executes concurrently with the other lanes and
+synchronizes only at quantum boundaries.  Any state a lane can reach that
+another lane (or the barrier-side kernel) can also reach is a would-be data
+race the moment the legs actually run in parallel — unless every mutation
+goes through a sanctioned channel (``repro.fabric.MemoryPort`` traffic,
+queued IRQs, quantum-barrier merges).
+
+This module builds the static model those rules share, once per lint run:
+
+* a **call graph** over all scanned classes/functions (name-based, so it
+  follows ``self.m()`` precisely and cross-object ``obj.m()`` calls
+  conservatively when the method name is distinctive);
+* **lane roots** — code that executes inside a per-core simulate leg:
+  ``simulate``/``_invoke_simulate``/``_handle_mmio`` overrides on
+  ``Processor`` subclasses, plus every TLM target transport callback
+  (functions passed to ``TargetSocket(...)`` and ``*_transport`` /
+  ``transport_dbg`` methods) because MMIO is always served from inside the
+  initiating core's leg;
+* **barrier roots** — elaboration and quantum-barrier/merge code
+  (``__init__``, ``end_of_elaboration``, ``start_of_simulation``,
+  ``sync_wait``, ``_delta_cycle``, update-phase methods), which is the only
+  place cross-lane state may be touched freely;
+* a **sharing classification** for every class:
+
+  - ``cross-lane-shared`` — instances are reachable from two or more core
+    lanes: the class owns a :class:`TargetSocket` (any initiator can reach a
+    TLM target through the router), fans in over cores (an ``__init__``
+    parameter like ``num_cpus``), or is explicitly marked with a class
+    attribute ``CROSS_LANE_SHARED = True``;
+  - ``lane-local`` — per-core state: ``Processor`` subclasses and classes
+    marked ``LANE_LOCAL = True``;
+  - ``kernel-owned`` — the scheduler itself (files under ``systemc/``),
+    which *is* the barrier infrastructure;
+  - ``unshared`` — everything else.
+
+The model intentionally over-approximates reachability (a finding means
+"provably reachable under name-based dispatch", not "proven racy") — the
+committed baseline (:mod:`repro.analysis.baseline`) records the reviewed
+findings that are barrier-safe today and must migrate to sanctioned
+channels before the parallel kernel lands.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .engine import LintContext, SourceModule
+
+#: methods that *are* a per-core simulate leg (on Processor subclasses)
+SIMULATE_LEG_NAMES = {"simulate", "_invoke_simulate", "_handle_mmio"}
+#: method-name shapes that identify TLM target transport callbacks
+TRANSPORT_SUFFIXES = ("_transport", "transport_dbg")
+#: elaboration / quantum-barrier methods — the sanctioned mutation context
+BARRIER_ROOT_NAMES = {
+    "__init__", "end_of_elaboration", "start_of_simulation", "elaborate",
+    "sync_wait", "_update", "_delta_cycle", "_advance_time",
+}
+#: ``__init__`` parameters that mean "this instance serves every core"
+FAN_IN_PARAMS = {"num_cpus", "num_cores", "cpus", "cores", "num_harts"}
+#: cross-object calls resolve by bare method name only when at most this
+#: many classes define the name (generic names like ``write`` resolve to
+#: too many candidates to mean anything)
+MAX_DISPATCH_CANDIDATES = 3
+
+#: sharing classification labels
+CROSS_LANE_SHARED = "cross-lane-shared"
+LANE_LOCAL = "lane-local"
+KERNEL_OWNED = "kernel-owned"
+UNSHARED = "unshared"
+
+
+class FunctionInfo:
+    """One top-level function or method, with its full (nested) body."""
+
+    __slots__ = ("name", "qualname", "class_name", "module", "node", "lineno")
+
+    def __init__(self, name: str, class_name: Optional[str],
+                 module: SourceModule, node: ast.AST):
+        self.name = name
+        self.class_name = class_name
+        self.module = module
+        self.node = node
+        self.lineno = getattr(node, "lineno", 0)
+        self.qualname = f"{class_name}.{name}" if class_name else name
+
+
+class ClassInfo:
+    """A scanned class plus the sharing signals found in its body."""
+
+    def __init__(self, name: str, module: SourceModule, bases: List[str]):
+        self.name = name
+        self.module = module
+        self.bases = bases
+        self.methods: Dict[str, FunctionInfo] = {}
+        self.owns_target_socket = False
+        self.fan_in_param: Optional[str] = None
+        self.marked_shared = False
+        self.marked_lane_local = False
+        #: attribute name -> class name, inferred from ``self.x = ClassName(…)``
+        #: constructor assignments and annotated ``__init__`` parameters
+        self.attr_types: Dict[str, str] = {}
+
+    def sharing_reason(self) -> str:
+        if self.marked_shared:
+            return "explicitly marked CROSS_LANE_SHARED"
+        if self.fan_in_param:
+            return f"fans in over cores (__init__ takes {self.fan_in_param!r})"
+        if self.owns_target_socket:
+            return "owns a TargetSocket (TLM target reachable from every initiator)"
+        return ""
+
+
+def _attr_chain_root(node: ast.AST) -> Optional[ast.Attribute]:
+    """Peel ``self.a[i].b[j]`` down to the ``self.a`` attribute, if any."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node
+    return None
+
+
+def _called_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _annotation_class(node: Optional[ast.AST]) -> Optional[str]:
+    """Class name out of an annotation: ``X``, ``Optional[X]``, ``mod.X``."""
+    if isinstance(node, ast.Subscript):          # Optional[X] / List[X]
+        return _annotation_class(node.slice)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1].strip("[]")
+    return None
+
+
+def _camel(attr: str) -> str:
+    return "".join(part.capitalize() for part in attr.split("_") if part)
+
+
+class LaneModel:
+    """Shared prescan state: call graph + lane/barrier reachability."""
+
+    SHARED_KEY = "race.lane_model"
+
+    def __init__(self):
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: List[FunctionInfo] = []
+        #: bare name -> functions (methods of any class + module functions)
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        self._collected: Set[str] = set()      # module relpaths already seen
+        self._lane_roots: Dict[FunctionInfo, str] = {}
+        self._finalized = False
+        #: qualname -> discovery chain from a lane root (root first)
+        self.lane_chains: Dict[str, Tuple[str, ...]] = {}
+        self.barrier_reachable: Set[str] = set()
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def of(cls, ctx: LintContext) -> "LaneModel":
+        model = ctx.shared.get(cls.SHARED_KEY)
+        if model is None:
+            model = cls()
+            ctx.shared[cls.SHARED_KEY] = model
+        return model
+
+    def collect(self, module: SourceModule) -> None:
+        """Prescan one module (idempotent per relpath)."""
+        if module.relpath in self._collected:
+            return
+        self._collected.add(module.relpath)
+        self._finalized = False
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._collect_class(module, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(FunctionInfo(node.name, None, module, node))
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        self.functions.append(info)
+        self._by_name.setdefault(info.name, []).append(info)
+
+    def _collect_class(self, module: SourceModule, node: ast.ClassDef) -> None:
+        bases = [b.attr if isinstance(b, ast.Attribute) else getattr(b, "id", "")
+                 for b in node.bases]
+        info = ClassInfo(node.name, module, bases)
+        # Last definition of a name wins (duplicates across fixture trees
+        # would otherwise cross-contaminate; real packages are unique).
+        self.classes[node.name] = info
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(item.name, node.name, module, item)
+                info.methods[item.name] = fn
+                self._add_function(fn)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        truthy = (isinstance(item.value, ast.Constant)
+                                  and bool(item.value.value))
+                        if target.id == "CROSS_LANE_SHARED" and truthy:
+                            info.marked_shared = True
+                        if target.id == "LANE_LOCAL" and truthy:
+                            info.marked_lane_local = True
+        ctor = info.methods.get("__init__")
+        if ctor is not None:
+            args = ctor.node.args
+            names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+            for param in names:
+                if param in FAN_IN_PARAMS:
+                    info.fan_in_param = param
+                    break
+        for method in info.methods.values():
+            for call in (n for n in ast.walk(method.node) if isinstance(n, ast.Call)):
+                name = _called_name(call.func)
+                if name == "TargetSocket":
+                    info.owns_target_socket = True
+            self._infer_attr_types(info, method)
+
+    @staticmethod
+    def _infer_attr_types(info: ClassInfo, method: FunctionInfo) -> None:
+        """Record ``self.x -> ClassName`` from ctor calls and annotations.
+
+        Resolution is deferred (names are checked against :attr:`classes`
+        at query time), so collection order across modules does not matter.
+        """
+        args = method.node.args
+        param_types: Dict[str, str] = {}
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            declared = _annotation_class(arg.annotation)
+            if declared is not None:
+                param_types[arg.arg] = declared
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            declared: Optional[str] = None
+            if isinstance(value, ast.Call):
+                name = _called_name(value.func)
+                if name and name[:1].isupper():
+                    declared = name
+            elif isinstance(value, ast.Name):
+                declared = param_types.get(value.id)
+            if isinstance(node, ast.AnnAssign) and declared is None:
+                declared = _annotation_class(node.annotation)
+            if declared is not None:
+                info.attr_types.setdefault(target.attr, declared)
+
+    # -- base-class resolution ------------------------------------------------
+    def _base_chain(self, class_name: str) -> Set[str]:
+        seen: Set[str] = set()
+        queue = deque([class_name])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is not None:
+                queue.extend(info.bases)
+        return seen
+
+    def _resolve_self_method(self, class_name: str, method: str) -> Optional[FunctionInfo]:
+        for candidate in self._base_chain(class_name):
+            info = self.classes.get(candidate)
+            if info is not None and method in info.methods:
+                return info.methods[method]
+        return None
+
+    def _attr_class(self, class_name: str, attr: str) -> Optional[str]:
+        """Class held in ``self.<attr>`` (for methods of ``class_name``).
+
+        Tries inferred constructor-assignment types first (searched through
+        the base chain, so ``self.mem`` set in ``Processor.__init__`` resolves
+        from a ``KvmCpu`` method), then falls back to snake_case → CamelCase
+        name matching (``self.host_ledger`` -> ``HostLedger``) for attributes
+        initialised to ``None`` and attached later.
+        """
+        for candidate in self._base_chain(class_name):
+            info = self.classes.get(candidate)
+            if info is None:
+                continue
+            declared = info.attr_types.get(attr)
+            if declared is not None and declared in self.classes:
+                return declared
+        camel = _camel(attr)
+        if camel in self.classes:
+            return camel
+        return None
+
+    # -- roots -----------------------------------------------------------------
+    def _is_processor_class(self, class_name: str) -> bool:
+        return "Processor" in self._base_chain(class_name)
+
+    def _find_lane_roots(self) -> Dict[FunctionInfo, str]:
+        roots: Dict[FunctionInfo, str] = {}
+
+        def add(fn: Optional[FunctionInfo], why: str) -> None:
+            if fn is not None and fn not in roots:
+                roots[fn] = why
+
+        for info in self.classes.values():
+            for name, fn in info.methods.items():
+                if name in SIMULATE_LEG_NAMES and self._is_processor_class(info.name):
+                    add(fn, f"per-core simulate leg {fn.qualname}")
+                if name.endswith(TRANSPORT_SUFFIXES[0]) or name == TRANSPORT_SUFFIXES[1]:
+                    add(fn, f"TLM transport handler {fn.qualname}")
+            # Functions handed to TargetSocket(...) are transport callbacks
+            # even when their names do not match the naming convention.
+            for fn in list(info.methods.values()):
+                for call in (n for n in ast.walk(fn.node) if isinstance(n, ast.Call)):
+                    if _called_name(call.func) != "TargetSocket":
+                        continue
+                    handed = list(call.args) + [kw.value for kw in call.keywords]
+                    for arg in handed:
+                        target: Optional[ast.AST] = arg
+                        # self._make_x(...) — the maker's closure runs in-lane
+                        if isinstance(target, ast.Call):
+                            target = target.func
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            add(self._resolve_self_method(info.name, target.attr),
+                                f"transport callback bound in {fn.qualname}")
+        return roots
+
+    def _find_barrier_roots(self) -> List[FunctionInfo]:
+        return [fn for fn in self.functions if fn.name in BARRIER_ROOT_NAMES]
+
+    # -- call graph -------------------------------------------------------------
+    def _edges(self, fn: FunctionInfo) -> Iterable[FunctionInfo]:
+        for call in (n for n in ast.walk(fn.node) if isinstance(n, ast.Call)):
+            func = call.func
+            if isinstance(func, ast.Name):
+                for candidate in self._by_name.get(func.id, ()):
+                    if candidate.class_name is None:
+                        yield candidate
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            method = func.attr
+            if method.startswith("__"):
+                continue
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                resolved = None
+                if fn.class_name is not None:
+                    resolved = self._resolve_self_method(fn.class_name, method)
+                if resolved is not None:
+                    yield resolved
+                    continue
+            # self.attr.m() / self.attr[i].m() — resolve through the
+            # attribute's inferred class, which beats bare-name dispatch
+            # for generic names like ``read`` or ``add``.
+            receiver = _attr_chain_root(func.value)
+            if receiver is not None and fn.class_name is not None:
+                owner = self._attr_class(fn.class_name, receiver.attr)
+                if owner is not None:
+                    resolved = self._resolve_self_method(owner, method)
+                    if resolved is not None:
+                        yield resolved
+                        continue
+            candidates = self._by_name.get(method, ())
+            classes = {c.class_name for c in candidates}
+            if 0 < len(classes) <= MAX_DISPATCH_CANDIDATES:
+                yield from candidates
+
+    def _finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self._lane_roots = self._find_lane_roots()
+        # Lane reachability, keeping the first discovery chain for reports.
+        self.lane_chains = {}
+        queue = deque()
+        for fn, why in self._lane_roots.items():
+            self.lane_chains[fn.qualname] = (fn.qualname,)
+            queue.append(fn)
+        while queue:
+            fn = queue.popleft()
+            chain = self.lane_chains[fn.qualname]
+            for callee in self._edges(fn):
+                if callee.qualname in self.lane_chains:
+                    continue
+                self.lane_chains[callee.qualname] = chain + (callee.qualname,)
+                queue.append(callee)
+        # Barrier reachability (membership only).
+        self.barrier_reachable = set()
+        queue = deque(self._find_barrier_roots())
+        for fn in queue:
+            self.barrier_reachable.add(fn.qualname)
+        while queue:
+            fn = queue.popleft()
+            for callee in self._edges(fn):
+                if callee.qualname not in self.barrier_reachable:
+                    self.barrier_reachable.add(callee.qualname)
+                    queue.append(callee)
+
+    # -- queries ------------------------------------------------------------------
+    def lane_reachable(self, fn: FunctionInfo) -> bool:
+        self._finalize()
+        return fn.qualname in self.lane_chains
+
+    def lane_chain(self, fn: FunctionInfo) -> Tuple[str, ...]:
+        self._finalize()
+        return self.lane_chains.get(fn.qualname, ())
+
+    def lane_root_reason(self, fn: FunctionInfo) -> str:
+        self._finalize()
+        chain = self.lane_chains.get(fn.qualname)
+        if not chain:
+            return ""
+        root = chain[0]
+        for root_fn, why in self._lane_roots.items():
+            if root_fn.qualname == root:
+                return why
+        return root
+
+    def classify(self, class_name: str) -> str:
+        """Sharing classification for one class (see module docstring)."""
+        self._finalize()
+        info = self.classes.get(class_name)
+        if info is None:
+            return UNSHARED
+        if info.module.in_package_dir("systemc"):
+            return KERNEL_OWNED
+        if info.marked_lane_local:
+            return LANE_LOCAL
+        if info.marked_shared:
+            return CROSS_LANE_SHARED
+        if self._is_processor_class(info.name) and not info.owns_target_socket:
+            return LANE_LOCAL
+        if info.sharing_reason():
+            return CROSS_LANE_SHARED
+        return UNSHARED
+
+    def classification_summary(self) -> Dict[str, List[str]]:
+        """Class names grouped by sharing classification (for reports)."""
+        self._finalize()
+        summary: Dict[str, List[str]] = {
+            CROSS_LANE_SHARED: [], LANE_LOCAL: [], KERNEL_OWNED: [], UNSHARED: [],
+        }
+        for name in sorted(self.classes):
+            summary[self.classify(name)].append(name)
+        return summary

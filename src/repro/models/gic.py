@@ -50,7 +50,15 @@ GICC_SIZE = 0x100
 
 
 class Gic400(Component):
-    """A GICv2-style interrupt controller for up to 8 cores."""
+    """A GICv2-style interrupt controller for up to 8 cores.
+
+    Distributor and CPU-interface state (the pending/enabled/active sets,
+    the per-core banked lists) is touched from every core's MMIO path, so
+    it is cross-lane shared under the planned parallel quantum kernel.
+    ``python -m repro.analysis --race`` tracks each such mutation against
+    the committed baseline until the state migrates behind a sanctioned
+    channel (quantum-barrier merge of per-lane IRQ queues).
+    """
 
     MAX_IRQS = 256
 

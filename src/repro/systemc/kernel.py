@@ -57,6 +57,67 @@ class SimulationStopped(Exception):
     """Raised internally when ``Kernel.stop()`` is requested mid-cycle."""
 
 
+class TraceHookHandle:
+    """Opaque handle returned by :meth:`Kernel.add_trace_hook`."""
+
+    __slots__ = ("hook", "priority", "seq")
+
+    def __init__(self, hook: Callable[[str, int, str], None], priority: int, seq: int):
+        self.hook = hook
+        self.priority = priority
+        self.seq = seq
+
+
+class _TraceHookChain:
+    """Priority-ordered fan-out for the class-level ``Kernel.trace_hook``.
+
+    Historically the class-level hook was a single slot, so observers that
+    needed to coexist (the SAN005 lane/window tagger, the DET001 digester)
+    had to shadow each other in attach order — append-only and fragile.
+    The chain replaces that: each observer registers with an explicit
+    priority, and dispatch always runs lower priorities first regardless of
+    attach order.  Ties dispatch in attach order.
+
+    The documented priority bands are on :class:`Kernel`:
+
+    * ``TRACE_PRIORITY_TAGGER`` (10) — context taggers that annotate the
+      current dispatch for *later* hooks (SAN005's lane/window tagger).
+    * ``TRACE_PRIORITY_DIGEST`` (20) — digesters that must observe the
+      dispatch stream exactly as the kernel emitted it (DET001).
+    * ``TRACE_PRIORITY_OBSERVER`` (30, default) — everything else.
+
+    ``dispatch`` is a *bound method* on purpose: storing it in the class
+    attribute ``Kernel.trace_hook`` must not turn it into a descriptor that
+    re-binds to the kernel instance at lookup time.
+    """
+
+    def __init__(self):
+        self._entries: List[TraceHookHandle] = []
+        self._seq = itertools.count()
+
+    def add(self, hook: Callable[[str, int, str], None], priority: int) -> TraceHookHandle:
+        handle = TraceHookHandle(hook, priority, next(self._seq))
+        self._entries.append(handle)
+        self._entries.sort(key=lambda h: (h.priority, h.seq))
+        return handle
+
+    def remove(self, handle: TraceHookHandle) -> None:
+        self._entries = [entry for entry in self._entries if entry is not handle]
+
+    def hooks_at(self, priority: int) -> List[Callable[[str, int, str], None]]:
+        return [entry.hook for entry in self._entries if entry.priority == priority]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def dispatch(self, kind: str, time_ps: int, name: str) -> None:
+        for entry in self._entries:
+            entry.hook(kind, time_ps, name)
+
+
+_trace_chain = _TraceHookChain()
+
+
 class Kernel:
     """A single-threaded SystemC-like discrete-event scheduler."""
 
@@ -67,7 +128,20 @@ class Kernel:
     #: Dispatch sites read the attribute through the instance, so a
     #: per-kernel hook (repro.telemetry) can shadow it — such a hook must
     #: chain to the class-level one to keep the determinism checker fed.
+    #:
+    #: Multiple class-level observers register through
+    #: :meth:`add_trace_hook` with an explicit priority; the slot then
+    #: holds the chain's dispatcher.  Direct assignment still works for a
+    #: single observer but cannot coexist with the chain.
     trace_hook: Optional[Callable[[str, int, str], None]] = None
+
+    #: trace-hook priority bands (lower runs earlier; see _TraceHookChain).
+    #: The SAN005 lane/window tagger must run before the DET001 digester so
+    #: the access tags a dispatch produces are in place before the dispatch
+    #: is sealed into the determinism digest.
+    TRACE_PRIORITY_TAGGER = 10
+    TRACE_PRIORITY_DIGEST = 20
+    TRACE_PRIORITY_OBSERVER = 30
 
     #: Optional observer called as ``error_hook(exc)`` when an exception
     #: escapes the scheduling loop (i.e. a model blew up inside dispatch).
@@ -76,6 +150,39 @@ class Kernel:
     #: exception is re-raised afterwards either way; the hook is a last
     #: look at the wreckage, not a handler.
     error_hook: Optional[Callable[[BaseException], None]] = None
+
+    # -- class-level trace-hook chain --------------------------------------
+    @classmethod
+    def add_trace_hook(cls, hook: Callable[[str, int, str], None],
+                       priority: int = TRACE_PRIORITY_OBSERVER) -> TraceHookHandle:
+        """Register a class-level trace observer with an explicit priority.
+
+        Lower ``priority`` values run earlier on every dispatch; equal
+        priorities run in attach order.  Use the documented bands
+        (``TRACE_PRIORITY_TAGGER`` < ``TRACE_PRIORITY_DIGEST`` <
+        ``TRACE_PRIORITY_OBSERVER``) so taggers always precede digesters no
+        matter who attached first.  Returns a handle for
+        :meth:`remove_trace_hook`.
+        """
+        if cls.trace_hook is not None and cls.trace_hook != _trace_chain.dispatch:
+            raise RuntimeError(
+                "Kernel.trace_hook is directly assigned; a directly-set hook "
+                "cannot coexist with add_trace_hook() observers")
+        handle = _trace_chain.add(hook, priority)
+        Kernel.trace_hook = _trace_chain.dispatch
+        return handle
+
+    @classmethod
+    def remove_trace_hook(cls, handle: TraceHookHandle) -> None:
+        """Detach a hook registered via :meth:`add_trace_hook`."""
+        _trace_chain.remove(handle)
+        if not len(_trace_chain) and cls.trace_hook == _trace_chain.dispatch:
+            Kernel.trace_hook = None
+
+    @classmethod
+    def trace_hooks_at(cls, priority: int) -> List[Callable[[str, int, str], None]]:
+        """The hooks currently registered in one priority band (introspection)."""
+        return _trace_chain.hooks_at(priority)
 
     def __init__(self):
         global _current_kernel

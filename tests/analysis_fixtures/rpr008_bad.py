@@ -1,0 +1,28 @@
+"""RPR008 fixture: cross-lane shared attributes written in simulate-leg paths."""
+
+
+class SharedStatusDevice:
+    """TLM target: reachable from every initiator through the router."""
+
+    def __init__(self):
+        self.socket = TargetSocket("dev", transport_fn=self._reg_transport)
+        self.status = 0
+        self.last_writer = None
+
+    def _reg_transport(self, payload, delay):
+        # BAD: any core's leg lands here; plain attribute writes race.
+        self.status = payload.data
+        self.last_writer = payload.initiator_id
+        return delay
+
+
+class PerCoreBanked:
+    """Fans in over cores: one instance serves every core."""
+
+    def __init__(self, num_cpus):
+        self.num_cpus = num_cpus
+        self.acks = 0
+
+    def cpu_transport(self, payload, delay):
+        self.acks += 1                       # BAD: AugAssign on shared state
+        return delay

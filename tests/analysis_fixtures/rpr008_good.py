@@ -1,0 +1,52 @@
+"""RPR008 negative fixture: sanctioned-channel and barrier-safe patterns.
+
+Three patterns that must stay silent:
+
+* a simulate leg that routes its stores through ``fabric.MemoryPort``
+  (the sanctioned channel) instead of poking device attributes;
+* a shared device that only mutates its attributes in barrier context
+  (``__init__`` / ``_update``);
+* a ``LANE_LOCAL``-marked helper written from its own core's leg.
+"""
+
+
+class PortWritingCpu(Processor):
+    """MemoryPort-mediated write: the false-positive guard."""
+
+    def __init__(self, name, quantum):
+        super().__init__(name, quantum)
+        self.mem = MemoryPort(self.data_socket)
+
+    def simulate(self, cycles):
+        # GOOD: the store travels through the fabric, which serializes
+        # cross-lane effects at the quantum barrier.
+        self.mem.write(0x9000_0000, b"\x01\x00\x00\x00")
+        return SimulateResult(cycles, SimulateAction.CONTINUE)
+
+
+class BarrierMutatingDevice:
+    """Shared (owns a TargetSocket) but only mutated at the barrier."""
+
+    def __init__(self):
+        self.socket = TargetSocket("dev", transport_fn=self._reg_transport)
+        self.status = 0
+        self._pending = 0
+
+    def _reg_transport(self, payload, delay):
+        return delay                          # reads only; no state writes
+
+    def _update(self):
+        # GOOD: the update phase runs with every lane parked at the barrier.
+        self.status = self._pending
+
+
+class ScratchPad:
+    LANE_LOCAL = True                         # one instance per core
+
+    def __init__(self):
+        self.socket = TargetSocket("scratch", transport_fn=self._reg_transport)
+        self.value = 0
+
+    def _reg_transport(self, payload, delay):
+        self.value = payload.data             # GOOD: lane-local by marker
+        return delay

@@ -1,0 +1,25 @@
+"""RPR009 fixture: the true cross-lane race — two cores writing one
+shared device register dict through their MMIO transports."""
+
+
+class SharedRegisterFile:
+    """One register dict serving every core (GIC-distributor shape)."""
+
+    def __init__(self, num_cpus):
+        self.num_cpus = num_cpus
+        self.regs = {}
+        self.pending = set()
+
+    def _dist_transport(self, payload, delay):
+        # BAD: core A and core B both land here inside their simulate
+        # legs; dict/set ops are not atomic under parallel lanes.
+        self.regs[payload.address] = payload.data
+        self.pending.add(payload.initiator_id)
+        self.drain(4)
+        return delay
+
+    def drain(self, limit):
+        # BAD: reachable from the transport handler via self-call chains.
+        while self.pending and limit:
+            self.pending.pop()
+            limit -= 1

@@ -1,0 +1,27 @@
+"""RPR009 negative fixture: barrier-safe container mutation.
+
+The same register-dict shape as ``rpr009_bad.py``, but every mutation
+happens in barrier context — elaboration or the update phase — where all
+lanes are parked at the quantum boundary.
+"""
+
+
+class BarrierRegisterFile:
+    def __init__(self, num_cpus):
+        self.num_cpus = num_cpus
+        self.regs = {}
+        self.pending = set()
+        for cpu in range(num_cpus):
+            self.regs[cpu] = 0                # GOOD: __init__ is barrier code
+
+    def _dist_transport(self, payload, delay):
+        value = self.regs.get(payload.address, 0)   # reads race with nobody
+        payload.data = value
+        return delay
+
+    def end_of_elaboration(self):
+        self.regs.update({0x100: 0, 0x104: 0})      # GOOD: elaboration
+
+    def _update(self):
+        while self.pending:
+            self.pending.pop()                       # GOOD: update phase

@@ -1,0 +1,25 @@
+"""RPR010 fixture: barrier-only kernel APIs called from simulate legs."""
+
+
+class EagerCpu(Processor):
+    def __init__(self, name, quantum):
+        super().__init__(name, quantum)
+        self.done_event = self.sc_event("done")
+
+    def simulate(self, cycles):
+        # BAD: immediate notify wakes waiters in the current evaluation
+        # phase — scheduler state is barrier-only.
+        self.done_event.notify()
+        # BAD: the update queue belongs to the kernel thread.
+        self.kernel.request_update(self)
+        return SimulateResult(cycles, SimulateAction.CONTINUE)
+
+
+class PokingDevice:
+    def __init__(self):
+        self.socket = TargetSocket("poke", transport_fn=self._reg_transport)
+        self.ready = Event("ready")
+
+    def _reg_transport(self, payload, delay):
+        self.ready.notify(delay=None)         # BAD: immediate notify form
+        return delay

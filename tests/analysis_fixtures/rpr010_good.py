@@ -1,0 +1,18 @@
+"""RPR010 negative fixture: delta-delayed notification from legs,
+immediate notification only at the barrier."""
+
+
+class PatientCpu(Processor):
+    def __init__(self, name, quantum):
+        super().__init__(name, quantum)
+        self.done_event = self.sc_event("done")
+
+    def simulate(self, cycles):
+        # GOOD: a timed/delta notification queues the wakeup for the
+        # kernel to deliver at the barrier.
+        self.done_event.notify(SimTime.ns(1))
+        return SimulateResult(cycles, SimulateAction.CONTINUE)
+
+    def _update(self):
+        self.done_event.notify()              # GOOD: update phase is barrier
+        self.kernel.request_update(self)      # GOOD: barrier context
