@@ -96,6 +96,12 @@ class DeterminismReport:
         )
 
 
+#: the KernelTrace currently being recorded by :func:`trace_run`; nesting
+#: guard only — *other* DIGEST-tier observers (the divergence ledger) are
+#: allowed to coexist
+_active_trace: Optional[KernelTrace] = None
+
+
 def trace_run(action: Callable[[], object]) -> KernelTrace:
     """Run ``action`` with the kernel trace hook installed.
 
@@ -104,15 +110,25 @@ def trace_run(action: Callable[[], object]) -> KernelTrace:
     lane/window tagger at ``TRACE_PRIORITY_TAGGER``) always observe each
     dispatch first — attach order does not matter, and the recorded digest
     is identical with or without other observers attached.
+
+    Multiple DIGEST-tier hooks may coexist (the chain dispatches them in
+    deterministic FIFO attach order within the tier), so a
+    :class:`repro.divergence.WindowLedger` and this digester can observe
+    the same run; only *nested* ``trace_run`` calls are refused, because
+    two interleaved recorders of the same stream would be redundant and
+    ambiguous to report.
     """
-    if Kernel.trace_hooks_at(Kernel.TRACE_PRIORITY_DIGEST):
+    global _active_trace
+    if _active_trace is not None:
         raise RuntimeError("a kernel trace is already being recorded")
     trace = KernelTrace()
+    _active_trace = trace
     handle = Kernel.add_trace_hook(trace.record, Kernel.TRACE_PRIORITY_DIGEST)
     try:
         action()
     finally:
         Kernel.remove_trace_hook(handle)
+        _active_trace = None
     return trace
 
 

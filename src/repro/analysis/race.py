@@ -52,12 +52,14 @@ provided.
 from __future__ import annotations
 
 import contextlib
+import re
 import sys
 from collections import deque
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..fabric.port import MemoryPort
 from ..host.accounting import HostLedger
+from ..host.machine import MAIN_LANE
 from ..systemc.kernel import Kernel
 from ..systemc.module import Module
 from ..tlm.dmi import DmiManager
@@ -76,6 +78,28 @@ _ABSENT = object()
 
 _READ = "read"
 _WRITE = "write"
+
+#: processor threads are spawned as ``f"core{core_id}"`` under the CPU
+#: module (:meth:`repro.vcml.processor.Processor.start_of_simulation`), so
+#: their hierarchical dispatch names end in ``.coreN``.  This is the naming
+#: half of the SAN005 lane model: a dispatch of ``aoa.cpu1.core1`` runs
+#: simulated core 1's ``simulate()`` leg, everything else is main-thread
+#: (SystemC scheduler) work.
+CORE_DISPATCH_RE = re.compile(r"(?:^|\.)core(\d+)$")
+
+
+def lane_of_dispatch(name: str) -> int:
+    """Lane id for a kernel dispatch name — the shared lane model.
+
+    Both SAN005 (which attributes attribute accesses to the lane whose
+    ``simulate()`` leg is on the stack) and the divergence ledger
+    (:mod:`repro.divergence`, which attributes whole scheduler dispatches)
+    agree on what a *lane* is: simulated core ``i`` for the core-thread
+    dispatches, :data:`~repro.host.machine.MAIN_LANE` for everything else
+    (methods, peripheral threads, the quantum barrier itself).
+    """
+    match = CORE_DISPATCH_RE.search(name)
+    return int(match.group(1)) if match else MAIN_LANE
 
 
 class _LaneFrame:

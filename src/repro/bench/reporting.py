@@ -63,6 +63,26 @@ def render_result(result: ExperimentResult) -> str:
     return "\n".join(parts)
 
 
+def result_json(result: ExperimentResult, **extra) -> dict:
+    """Machine-readable form of one experiment result.
+
+    ``extra`` lands as additional top-level keys — the runner uses it for
+    the determinism-ledger root digest and sidecar paths, so a farm can
+    compare two runs' digests straight from the bench JSON.
+    """
+    doc = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": [{"keys": dict(row.keys), "values": dict(row.values)}
+                 for row in result.rows],
+        "checks": list(result.checks),
+        "all_passed": result.all_passed,
+        "notes": result.notes,
+    }
+    doc.update(extra)
+    return doc
+
+
 def render_markdown(result: ExperimentResult) -> str:
     """Markdown section (used to regenerate EXPERIMENTS.md)."""
     lines = [f"### {result.experiment_id} — {result.title}", ""]

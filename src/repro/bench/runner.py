@@ -1,13 +1,18 @@
 """Command-line entry point: ``repro-bench`` / ``python -m repro.bench``.
 
 Runs the figure experiments and ablations, prints each result table with
-its paper-claim checks, and can emit markdown for EXPERIMENTS.md.
+its paper-claim checks, and can emit markdown for EXPERIMENTS.md or one
+JSON document for machines (``--json``).  ``--ledger-dir`` folds every
+experiment's kernel dispatch stream into a :mod:`repro.divergence` window
+ledger and writes ``<experiment>.ledger.json`` sidecars — compare two
+bench runs with ``python -m repro.divergence compare``.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 from typing import List
@@ -15,7 +20,7 @@ from typing import List
 from ..host.wallclock import elapsed_since, wall_clock
 from . import ablations, fig5, fig6, fig7  # noqa: F401  (register experiments)
 from .experiment import all_experiment_ids, get_experiment
-from .reporting import render_markdown, render_result
+from .reporting import render_markdown, render_result, result_json
 
 
 def main(argv: List[str] = None) -> int:
@@ -30,6 +35,10 @@ def main(argv: List[str] = None) -> int:
                              "(default 0.02 for a fast pass)")
     parser.add_argument("--markdown", action="store_true",
                         help="emit markdown sections instead of tables")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document (rows, checks, and the "
+                             "determinism-ledger root digest when "
+                             "--ledger-dir is active) instead of tables")
     parser.add_argument("--telemetry-dir", default=None, metavar="DIR",
                         help="collect repro.telemetry metrics for every "
                              "platform each experiment builds and write a "
@@ -44,6 +53,14 @@ def main(argv: List[str] = None) -> int:
                         metavar="CYCLES",
                         help="guest profiler sample interval in modeled "
                              "cycles (default 10000)")
+    parser.add_argument("--ledger-dir", default=None, metavar="DIR",
+                        help="fold each experiment's dispatch stream into a "
+                             "repro.divergence window ledger and write a "
+                             "<experiment>.ledger.json sidecar into DIR")
+    parser.add_argument("--ledger-window-us", type=float, default=1000.0,
+                        metavar="US",
+                        help="ledger window in simulated microseconds "
+                             "(default 1000)")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -52,14 +69,16 @@ def main(argv: List[str] = None) -> int:
             experiment = get_experiment(experiment_id)
             print(f"{experiment_id:20s} {experiment.title}")
         return 0
+    if args.markdown and args.json:
+        parser.error("--markdown and --json are mutually exclusive")
 
-    if args.telemetry_dir is not None:
-        os.makedirs(args.telemetry_dir, exist_ok=True)
-    if args.profile_dir is not None:
-        os.makedirs(args.profile_dir, exist_ok=True)
+    for directory in (args.telemetry_dir, args.profile_dir, args.ledger_dir):
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
 
     ids = args.experiments or all_experiment_ids()
     failures = 0
+    json_results = []
     for experiment_id in ids:
         experiment = get_experiment(experiment_id)
         started = wall_clock()
@@ -73,18 +92,41 @@ def main(argv: List[str] = None) -> int:
             flight_scope = recording(profile_interval=args.profile_interval)
         else:
             flight_scope = contextlib.nullcontext()
-        with scope as telemetry, flight_scope as flight:
+        if args.ledger_dir is not None:
+            from ..divergence import WindowLedger
+            ledger_scope = WindowLedger(
+                int(args.ledger_window_us * 1_000_000),
+                meta={"experiment": experiment_id, "scale": args.scale})
+        else:
+            ledger_scope = contextlib.nullcontext()
+        with scope as telemetry, flight_scope as flight, \
+                ledger_scope as ledger:
             result = experiment.run(scale=args.scale)
+        extra = {}
+        if args.ledger_dir is not None:
+            run_ledger = ledger.ledger()
+            sidecar = os.path.join(args.ledger_dir,
+                                   f"{experiment_id}.ledger.json")
+            run_ledger.save(sidecar)
+            extra["root_digest"] = run_ledger.root_digest
+            extra["ledger"] = sidecar
+            if not args.json:
+                print(f"ledger sidecar: {sidecar} "
+                      f"({len(run_ledger.windows)} windows, "
+                      f"root {run_ledger.root_digest[:16]}…)")
         if args.telemetry_dir is not None:
             sidecar = os.path.join(args.telemetry_dir,
                                    f"{experiment_id}.metrics.json")
             write_metrics_json(telemetry.registry, sidecar)
-            print(f"telemetry sidecar: {sidecar} "
-                  f"({len(telemetry.registry)} series)")
+            extra["metrics"] = sidecar
+            if not args.json:
+                print(f"telemetry sidecar: {sidecar} "
+                      f"({len(telemetry.registry)} series)")
         if args.profile_dir is not None:
             journal = os.path.join(args.profile_dir,
                                    f"{experiment_id}.journal.jsonl")
             events = flight.write_journal(journal)
+            extra["journal"] = journal
             message = f"flight sidecars: {journal} ({events} events)"
             if flight.profiler is not None:
                 folded = os.path.join(args.profile_dir,
@@ -93,15 +135,22 @@ def main(argv: List[str] = None) -> int:
                 flight.profiler.write_json(os.path.join(
                     args.profile_dir, f"{experiment_id}.profile.json"))
                 message += f", {folded} ({stacks} stacks)"
-            print(message)
+            if not args.json:
+                print(message)
         elapsed = elapsed_since(started)
-        if args.markdown:
+        if args.json:
+            json_results.append(result_json(result, wall_s=round(elapsed, 3),
+                                            **extra))
+        elif args.markdown:
             print(render_markdown(result))
         else:
             print(render_result(result))
             print(f"(ran in {elapsed:.1f} s at scale {args.scale})")
             print()
         failures += sum(1 for check in result.checks if not check["passed"])
+    if args.json:
+        print(json.dumps({"scale": args.scale, "results": json_results,
+                          "failures": failures}, indent=2, sort_keys=True))
     return 1 if failures else 0
 
 

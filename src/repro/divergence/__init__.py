@@ -1,0 +1,65 @@
+"""repro.divergence — windowed determinism ledgers with automatic bisection.
+
+DET001 answers "*did* two runs diverge"; this package answers "*where*".
+A :class:`WindowLedger` folds the kernel dispatch stream into rolling
+per-quantum-window, per-lane digests at O(windows) memory, the frozen
+:class:`RunLedger` serializes to a compact file, and :func:`bisect`
+walks the digest trees of two ledgers to the first divergent
+(window, lane) in O(log windows) comparisons.  :func:`zoom_run` then
+replays with full event capture scoped to that window only, and the
+result — window id, lane, event-level diff, ledger pair, optional
+journal slice and register state — packages as a **divergence bundle**
+through the flight bundle machinery.
+
+Typical flows::
+
+    # offline: two runs that never shared a process
+    python -m repro.divergence capture scenario.py -o a.ledger.json
+    python -m repro.divergence compare a.ledger.json b.ledger.json
+
+    # in-process A/B (this is what `selfcheck` does)
+    from repro.divergence import localize_divergence
+    report = localize_divergence(run_fabric, run_legacy,
+                                 bundle_dir="divergence-out")
+
+    # harness capture
+    python -m repro.bench --scaled 0.01 --only fig5 --ledger-dir ledgers/
+
+The root digest of a ledger is byte-identical to the DET001
+:meth:`~repro.analysis.determinism.KernelTrace.digest` of the same run,
+and the ledger hook is a pure observer in the DIGEST trace-hook band —
+DET001 digests are unchanged whether a ledger is attached or not, in
+either attach order.
+"""
+
+from __future__ import annotations
+
+from .bisect import DigestTree, DivergencePoint, LedgerComparison, bisect
+from .bundle import write_divergence_bundle
+from .ledger import (
+    DEFAULT_WINDOW,
+    LEDGER_FORMAT,
+    LaneDigest,
+    RunLedger,
+    WindowLedger,
+    WindowRecord,
+    capture_ledger,
+)
+from .zoom import (
+    DivergenceReport,
+    ZoomCapture,
+    ZoomEntry,
+    diff_zooms,
+    localize_divergence,
+    zoom_run,
+)
+
+__all__ = [
+    "DEFAULT_WINDOW", "LEDGER_FORMAT",
+    "WindowLedger", "RunLedger", "WindowRecord", "LaneDigest",
+    "capture_ledger",
+    "bisect", "LedgerComparison", "DivergencePoint", "DigestTree",
+    "zoom_run", "diff_zooms", "localize_divergence",
+    "ZoomCapture", "ZoomEntry", "DivergenceReport",
+    "write_divergence_bundle",
+]

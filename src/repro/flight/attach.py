@@ -57,6 +57,9 @@ class Flight:
         self._console_buffers: List[Tuple[str, object, bytearray]] = []
         self._sanitizer_hooked = False
         self._attached = True
+        #: ring stats already published (publish_metrics records deltas)
+        self._published_recorded = 0
+        self._published_dropped = 0
 
     # -- attachment -----------------------------------------------------------
     def attach(self, vp) -> "Flight":
@@ -85,6 +88,7 @@ class Flight:
         self._console_buffers.clear()
         if self.profiler is not None:
             self.profiler.flush()
+        self.publish_metrics()
         for watchdog, listener in self._fire_listeners:
             watchdog.remove_fire_listener(listener)
         self._fire_listeners.clear()
@@ -94,6 +98,38 @@ class Flight:
                 vp.flight = None
         self._sanitizer_hooked = False
         self._attached = False
+
+    def publish_metrics(self) -> None:
+        """Publish journal ring statistics as telemetry metrics.
+
+        ``flight.journal.recorded`` / ``flight.journal.dropped`` counters
+        and a ``flight.journal.capacity`` gauge land in every distinct
+        registry among the attached platforms' telemetry (falling back to
+        the active ``collecting()`` scope), so the metrics sidecar shows
+        whether the ring was large enough for the run.  Called from
+        :meth:`detach`; safe to call again (counters record deltas since
+        the last publish).
+        """
+        registries = []
+        for _key, vp in self.platforms:
+            telemetry = getattr(vp, "telemetry", None)
+            registry = getattr(telemetry, "registry", None)
+            if registry is not None and not any(r is registry
+                                                for r in registries):
+                registries.append(registry)
+        if not registries:
+            from ..telemetry import active_telemetry
+            active = active_telemetry()
+            if active is not None:
+                registries.append(active.registry)
+        recorded = self.recorder.num_recorded - self._published_recorded
+        dropped = self.recorder.num_dropped - self._published_dropped
+        self._published_recorded = self.recorder.num_recorded
+        self._published_dropped = self.recorder.num_dropped
+        for registry in registries:
+            registry.counter("flight.journal.recorded").inc(recorded)
+            registry.counter("flight.journal.dropped").inc(dropped)
+            registry.gauge("flight.journal.capacity").set(self.recorder.capacity)
 
     # -- outputs ----------------------------------------------------------------
     def write_journal(self, path: str, last: Optional[int] = None) -> int:

@@ -48,6 +48,63 @@ def _json_safe(value):
     return repr(value)
 
 
+def collect_core_state(vp, core: int):
+    """(state dict, disassembly lines) for one core, degrading gracefully.
+
+    Module-level so every bundle flavour — crash bundles here, divergence
+    bundles in :mod:`repro.divergence.bundle` — freezes registers, sysregs
+    and a disassembly window through the same debug transport.
+    """
+    cpu = vp.cpus[core]
+    saved_break = cpu.debug_break_enabled
+    try:
+        from ..debug.debugger import Debugger
+        try:
+            debugger = Debugger(vp, core)
+        except TypeError:
+            return _fallback_core_state(cpu), [
+                "<no interpreter state: disassembly unavailable "
+                "for this execution mode>"]
+        state = {
+            "core": core,
+            "registers": debugger.registers(),
+            "sysregs": debugger.sysregs(),
+            "backtrace": debugger.backtrace_hint(),
+            "instructions_retired": cpu.instructions_retired,
+        }
+        pc = debugger.state.pc
+        start = max(0, pc - 4 * DISASM_BEFORE)
+        disasm = debugger.disassemble(start, DISASM_BEFORE + DISASM_AFTER)
+        return state, disasm
+    finally:
+        cpu.debug_break_enabled = saved_break
+
+
+def _fallback_core_state(cpu) -> dict:
+    vcpu = getattr(cpu, "vcpu", None)
+    executor = vcpu.executor if vcpu is not None else cpu.executor
+    return {
+        "core": cpu.core_id,
+        "registers": {"pc": getattr(executor, "pc", 0)},
+        "instructions_retired": cpu.instructions_retired,
+        "num_mmio": cpu.num_mmio,
+        "num_bus_errors": cpu.num_bus_errors,
+    }
+
+
+def write_core_states(vp, cores_dir: str) -> None:
+    """Dump ``coreN.json`` + ``coreN.disasm.txt`` for every core of ``vp``."""
+    os.makedirs(cores_dir, exist_ok=True)
+    for core in range(len(vp.cpus)):
+        state, disasm = collect_core_state(vp, core)
+        with open(os.path.join(cores_dir, f"core{core}.json"), "w") as stream:
+            json.dump(state, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        with open(os.path.join(cores_dir, f"core{core}.disasm.txt"), "w") as stream:
+            stream.write("\n".join(disasm))
+            stream.write("\n")
+
+
 class CrashBundler:
     """Dumps bundle directories on behalf of a :class:`repro.flight.Flight`."""
 
@@ -98,57 +155,12 @@ class CrashBundler:
                 stream.write(event.to_json())
                 stream.write("\n")
 
-        for core in range(len(vp.cpus)):
-            state, disasm = self._core_state(vp, core)
-            with open(os.path.join(cores_dir, f"core{core}.json"), "w") as stream:
-                json.dump(state, stream, indent=2, sort_keys=True)
-                stream.write("\n")
-            with open(os.path.join(cores_dir, f"core{core}.disasm.txt"), "w") as stream:
-                stream.write("\n".join(disasm))
-                stream.write("\n")
+        write_core_states(vp, cores_dir)
 
         self._write_metrics(vp, os.path.join(path, "metrics.json"))
         self._write_meta(vp, os.path.join(path, "meta.json"),
                          reason, detail, payload)
         return path
-
-    def _core_state(self, vp, core: int):
-        """(state dict, disassembly lines) for one core, degrading gracefully."""
-        cpu = vp.cpus[core]
-        saved_break = cpu.debug_break_enabled
-        try:
-            from ..debug.debugger import Debugger
-            try:
-                debugger = Debugger(vp, core)
-            except TypeError:
-                return self._fallback_state(cpu), [
-                    "<no interpreter state: disassembly unavailable "
-                    "for this execution mode>"]
-            state = {
-                "core": core,
-                "registers": debugger.registers(),
-                "sysregs": debugger.sysregs(),
-                "backtrace": debugger.backtrace_hint(),
-                "instructions_retired": cpu.instructions_retired,
-            }
-            pc = debugger.state.pc
-            start = max(0, pc - 4 * DISASM_BEFORE)
-            disasm = debugger.disassemble(start, DISASM_BEFORE + DISASM_AFTER)
-            return state, disasm
-        finally:
-            cpu.debug_break_enabled = saved_break
-
-    @staticmethod
-    def _fallback_state(cpu) -> dict:
-        vcpu = getattr(cpu, "vcpu", None)
-        executor = vcpu.executor if vcpu is not None else cpu.executor
-        return {
-            "core": cpu.core_id,
-            "registers": {"pc": getattr(executor, "pc", 0)},
-            "instructions_retired": cpu.instructions_retired,
-            "num_mmio": cpu.num_mmio,
-            "num_bus_errors": cpu.num_bus_errors,
-        }
 
     def _write_metrics(self, vp, path: str) -> None:
         metrics = {

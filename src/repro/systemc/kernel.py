@@ -163,6 +163,13 @@ class Kernel:
         ``TRACE_PRIORITY_OBSERVER``) so taggers always precede digesters no
         matter who attached first.  Returns a handle for
         :meth:`remove_trace_hook`.
+
+        Any number of hooks may share one band: ties dispatch in
+        deterministic FIFO attach order (the sort key is ``(priority,
+        attach sequence)`` and the sort is stable), which is what lets two
+        DIGEST-tier observers — the DET001 digester and the
+        ``repro.divergence`` window ledger — fold the *same* event stream
+        side by side without perturbing each other's digests.
         """
         if cls.trace_hook is not None and cls.trace_hook != _trace_chain.dispatch:
             raise RuntimeError(

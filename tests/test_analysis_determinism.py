@@ -87,6 +87,36 @@ def test_trace_recording_does_not_nest():
     assert Kernel.trace_hook is None
 
 
+def test_trace_run_coexists_with_other_digest_tier_hooks():
+    # A WindowLedger (or any other DIGEST-tier observer) must not block
+    # trace_run: only *nested* trace recordings are refused.
+    from repro.divergence import WindowLedger
+
+    ledger = WindowLedger(SimTime.us(100)).attach()
+    try:
+        trace = trace_run(_ping_pong_sim)
+    finally:
+        run = ledger.detach()
+    assert len(trace) > 0
+    # both observed the identical stream
+    assert run.root_digest == trace.digest()
+    assert Kernel.trace_hook is None
+
+
+def test_digest_tier_hooks_dispatch_fifo_within_the_band():
+    calls = []
+    first = Kernel.add_trace_hook(lambda *args: calls.append("first"),
+                                  Kernel.TRACE_PRIORITY_DIGEST)
+    second = Kernel.add_trace_hook(lambda *args: calls.append("second"),
+                                   Kernel.TRACE_PRIORITY_DIGEST)
+    try:
+        Kernel.trace_hook("test", 0, "probe")
+    finally:
+        Kernel.remove_trace_hook(first)
+        Kernel.remove_trace_hook(second)
+    assert calls == ["first", "second"]
+
+
 def test_minimum_two_runs_enforced():
     with pytest.raises(ValueError):
         check_determinism(_ping_pong_sim, runs=1)

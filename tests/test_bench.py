@@ -139,3 +139,27 @@ class TestRunnerCli:
         runner_main(["ablation-budget", "--scale", "0.05", "--markdown"])
         out = capsys.readouterr().out
         assert out.startswith("### ablation-budget")
+
+    def test_ledger_dir_writes_sidecar_with_root_digest(self, tmp_path,
+                                                        capsys):
+        import json
+        from repro.divergence import RunLedger
+        ledger_dir = str(tmp_path / "ledgers")
+        code = runner_main(["ablation-watchdog", "--scale", "0.01", "--json",
+                            "--ledger-dir", ledger_dir])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        result = doc["results"][0]
+        assert result["experiment_id"] == "ablation-watchdog"
+        assert result["rows"] and result["checks"]
+        ledger = RunLedger.load(result["ledger"])
+        # the JSON report's digest is the ledger file's root digest, so a
+        # farm can compare two bench runs without opening the sidecars
+        assert result["root_digest"] == ledger.root_digest
+        assert ledger.meta["experiment"] == "ablation-watchdog"
+        assert len(ledger.windows) >= 1
+
+    def test_json_and_markdown_are_exclusive(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit):
+            runner_main(["ablation-budget", "--json", "--markdown"])

@@ -153,6 +153,48 @@ class TestPlatformProbes:
         assert vp.flight is None
         assert len(flight.recorder) > 0
 
+    def test_journal_ring_stats_published_to_platform_telemetry(self):
+        from repro.telemetry import Telemetry
+        vp = make_vp()
+        telemetry = Telemetry().attach(vp)
+        flight = enable_flight(vp, capacity=4, bundles=False,
+                               profile_interval=None)
+        for index in range(10):
+            flight.recorder.record("tick", t_ps=index)
+        flight.detach()
+        registry = telemetry.registry
+        assert registry.counter("flight.journal.recorded").value == 10
+        assert registry.counter("flight.journal.dropped").value == 6
+        assert registry.gauge("flight.journal.capacity").value == 4
+        telemetry.detach()
+
+    def test_journal_ring_stats_fall_back_to_active_scope(self):
+        from repro.telemetry import collecting
+        with collecting() as telemetry:
+            flight = enable_flight(make_vp(), capacity=8, bundles=False,
+                                   profile_interval=None)
+            flight.recorder.record("tick", t_ps=0)
+            flight.detach()
+        registry = telemetry.registry
+        assert registry.counter("flight.journal.recorded").value == 1
+        assert registry.counter("flight.journal.dropped").value == 0
+        assert registry.gauge("flight.journal.capacity").value == 8
+
+    def test_publish_metrics_records_deltas(self):
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.flight.attach import Flight
+        registry = MetricsRegistry()
+        flight = Flight(capacity=4, bundles=False, profile_interval=None)
+        vp = make_vp()
+        vp.telemetry = type("T", (), {"registry": registry})()
+        flight.attach(vp)
+        flight.recorder.record("tick", t_ps=0)
+        flight.publish_metrics()
+        flight.recorder.record("tick", t_ps=1)
+        flight.detach()
+        # two publishes must not double-count the first event
+        assert registry.counter("flight.journal.recorded").value == 2
+
     def test_journal_is_valid_jsonl(self, tmp_path):
         vp = make_vp()
         flight = enable_flight(vp, bundles=False)

@@ -132,6 +132,53 @@ class TestLedger:
         with pytest.raises(ValueError):
             HostLedger(SimTime.zero(), True, apple_m2_pro(), 1)
 
+    def test_window_span_empty_lane_dict(self):
+        # No lanes at all: only the fixed per-window kernel overhead.
+        costs = SimulationCostParams(kernel_overhead_ns_per_window=7.0,
+                                     parallel_dispatch_ns=10.0,
+                                     sequential_loop_ns=3.0)
+        par = self.make(parallel=True, costs=costs)
+        seq = self.make(parallel=False, costs=costs)
+        assert par.window_span_ns({}) == pytest.approx(7.0)
+        # Sequential charges the loop at least once even with no workers.
+        assert seq.window_span_ns({}) == pytest.approx(7.0 + 3.0)
+
+    def test_window_span_single_lane_parallel_equals_sequential_body(self):
+        # One worker lane: max and sum coincide; only the dispatch-vs-loop
+        # overhead model may differ.
+        costs = SimulationCostParams(kernel_overhead_ns_per_window=0.0,
+                                     parallel_dispatch_ns=4.0,
+                                     sequential_loop_ns=6.0)
+        par = self.make(parallel=True, costs=costs)
+        seq = self.make(parallel=False, costs=costs)
+        assert par.window_span_ns({0: 50.0}) == pytest.approx(50.0 + 4.0)
+        assert seq.window_span_ns({0: 50.0}) == pytest.approx(50.0 + 6.0)
+
+    def test_window_span_main_lane_carries_no_worker_overhead(self):
+        # MAIN_LANE is not a worker: no per-worker dispatch cost for it.
+        costs = SimulationCostParams(kernel_overhead_ns_per_window=0.0,
+                                     parallel_dispatch_ns=4.0,
+                                     sequential_loop_ns=0.0)
+        par = self.make(parallel=True, costs=costs)
+        assert par.window_span_ns({MAIN_LANE: 20.0}) == pytest.approx(20.0)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(-1, 3),
+                              st.floats(0.1, 1e6)), min_size=1, max_size=50))
+    def test_wall_time_is_fold_of_window_spans(self, contributions):
+        # wall_time_ns() must agree with folding window_span_ns over the
+        # window dict by hand, for both scheduling models.
+        for parallel in (False, True):
+            ledger = self.make(parallel=parallel, num_cores=4)
+            windows = {}
+            for window, lane, nanoseconds in contributions:
+                ledger.add(window, lane, nanoseconds)
+                windows.setdefault(window, {})
+                windows[window][lane] = (windows[window].get(lane, 0.0)
+                                         + nanoseconds)
+            folded = sum(ledger.window_span_ns(lanes)
+                         for lanes in windows.values())
+            assert ledger.wall_time_ns() == pytest.approx(folded)
+
     @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 3),
                               st.floats(0.1, 1e6)), min_size=1, max_size=50))
     def test_parallel_never_exceeds_sequential(self, contributions):
