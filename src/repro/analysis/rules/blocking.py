@@ -65,6 +65,10 @@ class BlockingTransportRule(Rule):
                 and isinstance(func.value, ast.Name) and func.value.id == "time")
 
     def check(self, ctx: LintContext, module: SourceModule) -> Iterator[Finding]:
+        # repro.host is the sanctioned real-clock boundary (same carve-out
+        # as RPR001): wallclock.pause() may genuinely block the host
+        # thread for off-simulation consumers.
+        in_host = module.in_package_dir("host")
         # Build a map from every node to its nearest enclosing function.
         parents = {}
         for parent in ast.walk(module.tree):
@@ -83,6 +87,8 @@ class BlockingTransportRule(Rule):
             if not isinstance(node, ast.Call):
                 continue
             if self._is_time_sleep(node):
+                if in_host:
+                    continue
                 yield self.finding(
                     module, node,
                     "time.sleep blocks the cooperative kernel's host thread; "

@@ -11,7 +11,8 @@ human needs into one directory and prints its path:
       meta.json            why, when (sim + modeled host time), run config
       journal.jsonl        the flight recorder's last-N events
       mmio.jsonl           every retained MMIO request/response pair
-      metrics.json         journal tallies, telemetry snapshot, profile
+      metrics.json         journal tallies, telemetry snapshot, profile,
+                           last-known host-time attribution (repro.obs)
       cores/
         core0.json         registers, sysregs, backtrace hint
         core0.disasm.txt   disassembly window around the PC
@@ -175,9 +176,39 @@ class CrashBundler:
             metrics["telemetry"] = telemetry.metrics_snapshot()
         if self.flight.profiler is not None:
             metrics["profile_per_symbol"] = self.flight.profiler.per_symbol()
+        attribution = self._attribution_snapshot(vp, telemetry)
+        if attribution is not None:
+            metrics["attribution"] = attribution
         with open(path, "w") as stream:
             json.dump(metrics, stream, indent=2, sort_keys=True)
             stream.write("\n")
+
+    @staticmethod
+    def _attribution_snapshot(vp, telemetry) -> Optional[dict]:
+        """Last-known host-time attribution (phases per lane) for the wreck.
+
+        Best source first: a live ``repro.obs`` engine (per-core lanes even
+        in sequential mode, open windows included); else re-fold the
+        telemetry host timeline; else nothing.  Lazy imports keep the
+        flight package usable without obs, and a crash dump must never die
+        on its own bookkeeping.
+        """
+        try:
+            obs = getattr(vp, "obs", None)
+            if obs is not None:
+                summary = obs.summary_for(vp, include_open=True)
+                if summary is not None:
+                    return summary.to_json()
+            if telemetry is not None:
+                for _key, platform, timeline in telemetry.platforms:
+                    if platform is vp and timeline is not None:
+                        from ..obs.attribution import summarize_timeline
+                        summary = summarize_timeline(vp, timeline)
+                        if summary is not None:
+                            return summary.to_json()
+        except Exception:
+            return None
+        return None
 
     def _write_meta(self, vp, path: str, reason: str, detail: str,
                     payload) -> None:

@@ -104,6 +104,16 @@ class HostLedger:
     def category_totals(self) -> Dict[str, float]:
         return dict(self._categories)
 
+    def windows(self) -> Dict[int, Dict[int, float]]:
+        """Per-window lane totals, in first-billing (insertion) order.
+
+        Read-only copy for observers (``repro.obs`` folds it into phase
+        attributions).  Iteration order matters: :meth:`wall_time_ns` sums
+        window spans in this order, so a consumer that re-folds the windows
+        in the same order reproduces the total bit-for-bit.
+        """
+        return {window: dict(lanes) for window, lanes in self._windows.items()}
+
     def window_count(self) -> int:
         return len(self._windows)
 

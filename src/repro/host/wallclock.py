@@ -21,3 +21,23 @@ def wall_clock() -> float:
 def elapsed_since(start: float) -> float:
     """Real seconds elapsed since a previous :func:`wall_clock` reading."""
     return time.perf_counter() - start
+
+
+def pause(seconds: float) -> None:
+    """Block the calling host thread for real ``seconds``.
+
+    Only for host-side consumers polling an external source (the live
+    ``repro.obs top`` view tailing a stream file) — never inside the
+    cooperative kernel, where blocking the host thread stalls every
+    simulated process (RPR002).
+    """
+    time.sleep(seconds)
+
+
+def utc_timestamp() -> str:
+    """Current UTC time as ``YYYY-mm-ddTHH:MM:SSZ``.
+
+    Only for labeling host-side artifacts (bench history entries, report
+    headers) — never for anything a simulation result depends on.
+    """
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())

@@ -1,0 +1,33 @@
+"""repro.obs — continuous performance observability for virtual platforms.
+
+Layers on top of :mod:`repro.telemetry`:
+
+* :mod:`.attribution` — fold HostLedger billing into per-lane, per-window
+  phases (guest / mmio / irq / kernel / barrier_idle / overhead) that sum
+  exactly to ``HostLedger.wall_time_ns()``, plus the projected parallel
+  efficiency the future parallel kernel will be graded against;
+* :mod:`.engine` — ``enable_obs(vp)`` / ``observing()`` non-intrusive
+  attachment (digest-neutral by construction);
+* :mod:`.stream` — bounded, drop-accounted snapshot streaming to JSONL
+  files, Unix sockets, and in-process subscribers;
+* :mod:`.top` — plain-text live view helpers (``python -m repro.obs top``);
+* :mod:`.trend` — ``BENCH_obs.json`` bench history, trend reports, and
+  ratio gates.
+"""
+
+from .attribution import (AttributionFold, AttributionSummary,
+                          CATEGORY_PHASES, PHASES, render_summary,
+                          summarize_timeline)
+from .engine import Obs, active_obs, enable_obs, maybe_attach, observing
+from .stream import JsonlSink, ObsStreamer, Sink, SocketSink, SubscriberSink
+from .trend import (append_entry, check_history, load_history, make_entry,
+                    trend_report)
+
+__all__ = [
+    "AttributionFold", "AttributionSummary", "CATEGORY_PHASES", "PHASES",
+    "render_summary", "summarize_timeline",
+    "Obs", "active_obs", "enable_obs", "maybe_attach", "observing",
+    "JsonlSink", "ObsStreamer", "Sink", "SocketSink", "SubscriberSink",
+    "append_entry", "check_history", "load_history", "make_entry",
+    "trend_report",
+]

@@ -1,0 +1,129 @@
+"""Console entry points for the observability layer.
+
+``python -m repro.obs top`` — live (or replay) view of a snapshot stream::
+
+    python -m repro.obs top run.obs.jsonl            # replay a finished run
+    python -m repro.obs top run.obs.jsonl --follow   # tail a running one
+    python -m repro.obs top --socket /tmp/obs.sock   # listen for a SocketSink
+
+``python -m repro.obs trend`` — bench history report and regression gate::
+
+    python -m repro.obs trend BENCH_obs.json
+    python -m repro.obs trend BENCH_obs.json --check --tolerance 0.2
+
+``python -m repro.obs report`` — pretty-print an attribution report file
+written by ``python -m repro.bench --obs-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .attribution import PHASES
+from .top import follow, iter_jsonl, render_top, serve_socket
+from .trend import DEFAULT_TOLERANCE, check_history, load_history, trend_report
+
+
+def _cmd_top(args) -> int:
+    if args.socket:
+        frames = serve_socket(args.socket, max_frames=args.frames,
+                              timeout_seconds=args.timeout)
+    elif args.follow:
+        frames = follow(args.stream, max_frames=args.frames)
+    else:
+        frames = iter_jsonl(args.stream)
+    shown = 0
+    for snapshot in frames:
+        print(render_top(snapshot))
+        shown += 1
+        if args.frames is not None and not args.follow and not args.socket \
+                and shown >= args.frames:
+            break
+    if not shown:
+        print("(no snapshots)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    history = load_history(args.history)
+    print(trend_report(history, last=args.last, tolerance=args.tolerance),
+          end="")
+    if args.check:
+        failures = check_history(history, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .attribution import render_summary, AttributionSummary
+    with open(args.report, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    summaries = data.get("summaries", [])
+    if not summaries:
+        print("(no summaries in report)", file=sys.stderr)
+        return 1
+    for summary in summaries:
+        print(f"--- {summary.get('platform', '?')} ---")
+        lanes = summary.get("lanes", {})
+        print(f"windows {summary.get('windows', 0)}  "
+              f"wall {summary.get('wall_time_ns', 0.0) / 1e6:.3f} ms  "
+              f"MIPS {summary.get('mips', 0.0):.0f}  "
+              f"consistent {summary.get('consistent')}")
+        for name, lane in sorted(lanes.items()):
+            phases = lane.get("phases", {})
+            cells = "  ".join(f"{p}={phases.get(p, 0.0) / 1e6:.3f}ms"
+                              for p in PHASES if phases.get(p, 0.0) > 0.0)
+            print(f"  {name:8s} util {lane.get('utilization', 0.0) * 100:5.1f}%"
+                  f"  {cells}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="live view, trend report, and attribution pretty-printer")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    top = commands.add_parser("top", help="render a snapshot stream")
+    top.add_argument("stream", nargs="?", default=None,
+                     help="JSONL stream file (from a JsonlSink / --obs-dir)")
+    top.add_argument("--socket", default=None,
+                     help="listen on this Unix socket for a SocketSink")
+    top.add_argument("--follow", action="store_true",
+                     help="tail the stream file as it is written")
+    top.add_argument("--frames", type=int, default=None,
+                     help="stop after this many snapshots")
+    top.add_argument("--timeout", type=float, default=None,
+                     help="socket accept/read timeout in seconds")
+    top.set_defaults(handler=_cmd_top)
+
+    trend = commands.add_parser("trend", help="bench history trend report")
+    trend.add_argument("history", help="BENCH_obs.json history file")
+    trend.add_argument("--last", type=int, default=10,
+                       help="number of entries to show (default 10)")
+    trend.add_argument("--check", action="store_true",
+                       help="exit non-zero on a ratio-gate regression")
+    trend.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                       help="allowed fractional MIPS regression "
+                            f"(default {DEFAULT_TOLERANCE})")
+    trend.set_defaults(handler=_cmd_trend)
+
+    report = commands.add_parser("report",
+                                 help="pretty-print an attribution report")
+    report.add_argument("report", help="<experiment>.obs.json file")
+    report.set_defaults(handler=_cmd_report)
+
+    args = parser.parse_args(argv)
+    if args.command == "top" and not args.stream and not args.socket:
+        parser.error("top needs a stream file or --socket")
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Plain-text live view of a running VP's observability stream.
+
+Pure rendering + stream-following helpers; the actual printing lives in
+``python -m repro.obs`` (module mains are the sanctioned console edge).
+``render_top`` turns one ``repro.obs.snapshot/1`` object into a small
+fixed-width frame; :func:`follow` tails a JSONL stream file as the sink
+writes it, and :func:`serve_socket` accepts one Unix-socket connection
+from a :class:`repro.obs.stream.SocketSink` and yields its snapshots.
+
+The poll pacing blocks real host time, so it routes through
+``repro.host.wallclock.pause`` — the sanctioned real-clock boundary —
+rather than ``time.sleep``: this is a *viewer*, the simulated platform
+never waits on the console.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from typing import Iterator, Optional
+
+from ..host.wallclock import pause
+
+BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_top(snapshot: dict) -> str:
+    """One frame of the live view for a single snapshot."""
+    if snapshot.get("final"):
+        summary = snapshot.get("summary", {})
+        lines = [f"-- run complete: {snapshot.get('platform', '?')} --",
+                 f"windows {summary.get('windows', 0)}  "
+                 f"wall {summary.get('wall_time_ns', 0.0) / 1e6:.3f} ms  "
+                 f"MIPS {summary.get('mips', 0.0):.0f}"]
+        projected = summary.get("projected", {})
+        if projected:
+            lines.append(
+                f"projected parallel speedup "
+                f"{projected.get('parallel_speedup', 1.0):.2f}x  "
+                f"efficiency {projected.get('parallel_efficiency', 1.0):.2f}")
+        for name, lane in sorted(summary.get("lanes", {}).items()):
+            utilization = lane.get("utilization", 0.0)
+            lines.append(f"{name:8s} [{_bar(utilization)}] "
+                         f"{utilization * 100:5.1f}%")
+        return "\n".join(lines) + "\n"
+    lines = [f"{snapshot.get('platform', '?')}  "
+             f"window {snapshot.get('window', '?')}  "
+             f"sim {snapshot.get('sim_time_ps', 0) / 1e6:.1f} us  "
+             f"wall {snapshot.get('wall_ns', 0.0) / 1e6:.3f} ms  "
+             f"MIPS {snapshot.get('mips', 0.0):.0f}"]
+    for name, lane in sorted(snapshot.get("lanes", {}).items()):
+        utilization = lane.get("utilization", 0.0)
+        phases = lane.get("phases", {})
+        top_phase = max(phases, key=phases.get) if phases else "-"
+        lines.append(f"{name:8s} [{_bar(utilization)}] "
+                     f"{utilization * 100:5.1f}%  {top_phase}")
+    return "\n".join(lines) + "\n"
+
+
+def iter_jsonl(path: str) -> Iterator[dict]:
+    """Parse every complete snapshot line currently in a JSONL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError:
+                continue   # partial trailing line mid-write
+
+
+def follow(path: str, poll_seconds: float = 0.2,
+           max_frames: Optional[int] = None,
+           stop_on_final: bool = True) -> Iterator[dict]:
+    """Tail a JSONL stream file, yielding snapshots as they appear.
+
+    Waits for the file to exist, then polls for appended lines.  Stops
+    after ``max_frames`` snapshots, or at the terminal summary snapshot
+    when ``stop_on_final`` is set (the writer is done at that point).
+    """
+    while not os.path.exists(path):
+        pause(poll_seconds)
+    frames = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        pending = ""
+        while True:
+            chunk = handle.readline()
+            if not chunk:
+                pause(poll_seconds)
+                continue
+            pending += chunk
+            if not pending.endswith("\n"):
+                continue   # partial line: writer mid-append
+            line, pending = pending.strip(), ""
+            if not line:
+                continue
+            try:
+                snapshot = json.loads(line)
+            except ValueError:
+                continue
+            yield snapshot
+            frames += 1
+            if max_frames is not None and frames >= max_frames:
+                return
+            if stop_on_final and snapshot.get("final"):
+                return
+
+
+def serve_socket(path: str, max_frames: Optional[int] = None,
+                 stop_on_final: bool = True,
+                 timeout_seconds: Optional[float] = None) -> Iterator[dict]:
+    """Listen on a Unix socket, accept one sink connection, yield snapshots.
+
+    Start the viewer first, then the run with a
+    :class:`~repro.obs.stream.SocketSink` pointing at the same path.
+    """
+    if os.path.exists(path):
+        os.unlink(path)
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        server.bind(path)
+        server.listen(1)
+        if timeout_seconds is not None:
+            server.settimeout(timeout_seconds)
+        connection, _ = server.accept()
+        if timeout_seconds is not None:
+            connection.settimeout(timeout_seconds)
+        frames = 0
+        buffer = b""
+        with connection:
+            while True:
+                chunk = connection.recv(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        snapshot = json.loads(line.decode("utf-8"))
+                    except ValueError:
+                        continue
+                    yield snapshot
+                    frames += 1
+                    if max_frames is not None and frames >= max_frames:
+                        return
+                    if stop_on_final and snapshot.get("final"):
+                        return
+    finally:
+        server.close()
+        if os.path.exists(path):
+            os.unlink(path)

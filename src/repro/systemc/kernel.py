@@ -143,6 +143,13 @@ class Kernel:
     TRACE_PRIORITY_DIGEST = 20
     TRACE_PRIORITY_OBSERVER = 30
 
+    #: Optional observer called as ``time_hook(now_ps)`` after every
+    #: simulated-time advance (never for delta cycles).  Read through the
+    #: instance like ``trace_hook`` so a per-kernel observer (repro.obs uses
+    #: it to close quantum windows at exact sim-time boundaries) can shadow
+    #: a class default; must never mutate simulation state.
+    time_hook: Optional[Callable[[int], None]] = None
+
     #: Optional observer called as ``error_hook(exc)`` when an exception
     #: escapes the scheduling loop (i.e. a model blew up inside dispatch).
     #: Read through the instance like ``trace_hook`` so a per-kernel hook
@@ -381,6 +388,9 @@ class Kernel:
             self._now = deadline
             return False
         self._now = due
+        hook = self.time_hook
+        if hook is not None:
+            hook(due.picoseconds)
         while self._timed and self._timed[0].due == due:
             entry = heapq.heappop(self._timed)
             if not entry.cancelled:

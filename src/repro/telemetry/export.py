@@ -4,8 +4,10 @@ The Chrome trace document loads directly into Perfetto
 (https://ui.perfetto.dev) or ``chrome://tracing``: one *process* per
 attached platform for the modeled host-time axis with one *thread track*
 per host lane (main thread + parallel workers — lane overlap makes the
-sequential-sum vs parallel-max fold visible), plus one process for
-simulated-time spans (WFI suspend→resume pairs).
+sequential-sum vs parallel-max fold visible), per-lane utilization counter
+tracks (one sample per quantum window), cross-lane MMIO request→completion
+flow arrows in parallel mode, plus one process for simulated-time spans
+(WFI suspend→resume pairs).
 
 Timestamps: Chrome traces use microseconds.  Host-time spans are modeled
 nanoseconds (÷ 1e3), simulated-time spans are picoseconds (÷ 1e6).  Both
@@ -65,6 +67,54 @@ def chrome_trace(telemetry) -> Dict[str, object]:
                 "cat": "host",
                 "args": dict(span.args),
             })
+
+        # Per-lane utilization counter tracks: one sample per quantum
+        # window (busy_ns / window_span_ns), plus a trailing zero so the
+        # last sample has a visible extent in Perfetto.
+        table = timeline.window_table()
+        tracks = sorted({track for _w, _s, _n, busy in table
+                         for track in busy}, key=_track_sort_key)
+        end_ns = 0.0
+        for window, start_ns, span_ns, busy in table:
+            end_ns = start_ns + span_ns
+            for track in tracks:
+                utilization = (busy.get(track, 0.0) / span_ns
+                               if span_ns > 0 else 0.0)
+                events.append({
+                    "name": f"util.{track}",
+                    "ph": "C",
+                    "ts": start_ns / 1e3,
+                    "pid": pid,
+                    "tid": 0,
+                    "cat": "host",
+                    "args": {"utilization": round(utilization, 6)},
+                })
+        if table:
+            for track in tracks:
+                events.append({
+                    "name": f"util.{track}",
+                    "ph": "C",
+                    "ts": end_ns / 1e3,
+                    "pid": pid,
+                    "tid": 0,
+                    "cat": "host",
+                    "args": {"utilization": 0},
+                })
+
+        # Cross-lane MMIO request->completion flow arrows (parallel mode):
+        # "s" at the issuing core's round-trip slice, "f" at the main-lane
+        # completion slice.
+        for flow_id, (window, src_track, src_begin, dst_track,
+                      dst_begin) in enumerate(timeline.mmio_flows()):
+            common = {"cat": "mmio", "name": "mmio-roundtrip", "pid": pid,
+                      "id": f"{pid}.{flow_id}"}
+            events.append({**common, "ph": "s", "ts": src_begin / 1e3,
+                           "tid": _lane_tid(src_track),
+                           "args": {"window": window}})
+            events.append({**common, "ph": "f", "bp": "e",
+                           "ts": dst_begin / 1e3,
+                           "tid": _lane_tid(dst_track),
+                           "args": {"window": window}})
 
     # Simulated-time spans (WFI suspends) in their own process.
     if telemetry.sim_spans.spans:

@@ -289,7 +289,16 @@ class Telemetry:
 
 def enable_telemetry(vp, registry: Optional[MetricsRegistry] = None) -> Telemetry:
     """Instrument ``vp`` with a fresh (or shared) registry; returns the
-    :class:`Telemetry` handle, also reachable as ``vp.telemetry``."""
+    :class:`Telemetry` handle, also reachable as ``vp.telemetry``.
+
+    Idempotent: calling it again on an already-instrumented platform
+    returns the existing handle instead of stacking a second set of probes
+    (which would double every counter).  Pass a different ``registry`` and
+    you still get the existing handle — detach first to re-instrument.
+    """
+    existing = getattr(vp, "telemetry", None)
+    if existing is not None:
+        return existing
     telemetry = Telemetry(registry)
     telemetry.attach(vp)
     return telemetry

@@ -170,3 +170,67 @@ class HostTimeline:
 
     def window_count(self) -> int:
         return len(self._events)
+
+    def window_events(self) -> Dict[int, List[Tuple[int, float, str]]]:
+        """Per-window billing events in arrival order (read-only copy)."""
+        return {window: list(events) for window, events in self._events.items()}
+
+    # -- derived views (Perfetto enrichment) ---------------------------------
+    def window_table(self) -> List[Tuple[int, float, float, Dict[str, float]]]:
+        """Per-window ``(window, start_ns, span_ns, {track: busy_ns})``.
+
+        Windows in ascending order with the same fold as :meth:`layout`, so
+        start offsets line up with the laid-out spans.  This is what the
+        Chrome-trace exporter turns into per-lane utilization counter
+        tracks.
+        """
+        table = []
+        cursor = 0.0
+        for window in sorted(self._events):
+            lane_totals: Dict[int, float] = {}
+            for lane, nanoseconds, _category in self._events[window]:
+                lane_totals[lane] = lane_totals.get(lane, 0.0) + nanoseconds
+            span = self.ledger.window_span_ns(lane_totals)
+            busy = {self.lane_track(lane): total
+                    for lane, total in lane_totals.items()}
+            table.append((window, cursor, span, busy))
+            cursor += span
+        return table
+
+    def mmio_flows(self) -> List[Tuple[int, str, float, str, float]]:
+        """Cross-lane MMIO request→completion pairs, for flow arrows.
+
+        In parallel mode an MMIO access starts on the issuing core's lane
+        (the round-trip slice) and completes on the main lane (the
+        peripheral access, billed ``main_thread=True``); this pairs each
+        worker-lane ``mmio`` slice with the next main-lane ``mmio`` slice
+        of the same window, in order.  Returns ``(window, source_track,
+        source_begin_ns, destination_track, destination_begin_ns)`` on the
+        laid-out host-time axis.  Sequential mode has a single lane — no
+        cross-lane hop, so no flows.
+        """
+        if not self.ledger.parallel:
+            return []
+        flows = []
+        cursor = 0.0
+        for window in sorted(self._events):
+            events = self._events[window]
+            lane_totals: Dict[int, float] = {}
+            lane_cursor: Dict[int, float] = {}
+            pending: List[Tuple[int, float]] = []   # (lane, begin) of requests
+            for lane, nanoseconds, category in events:
+                begin = lane_cursor.setdefault(lane, cursor)
+                if category == "mmio":
+                    from ..host.machine import MAIN_LANE
+                    if lane == MAIN_LANE:
+                        if pending:
+                            src_lane, src_begin = pending.pop(0)
+                            flows.append((window, self.lane_track(src_lane),
+                                          src_begin, self.lane_track(lane),
+                                          begin))
+                    else:
+                        pending.append((lane, begin))
+                lane_cursor[lane] = begin + nanoseconds
+                lane_totals[lane] = lane_totals.get(lane, 0.0) + nanoseconds
+            cursor += self.ledger.window_span_ns(lane_totals)
+        return flows

@@ -150,6 +150,8 @@ class VirtualPlatform(Module):
         self.telemetry = None
         #: set by repro.flight.enable_flight; None when no black box attached
         self.flight = None
+        #: set by repro.obs.enable_obs; None when no observability attached
+        self.obs = None
 
         # -- CPU cores ---------------------------------------------------------------------
         self.cpus: List = []
@@ -307,7 +309,9 @@ def build_platform(kind: str, config: VpConfig, software: GuestSoftware):
     Inside a :func:`repro.telemetry.collecting` scope the new platform is
     instrumented automatically, so harnesses (e.g. ``repro.bench.runner``)
     can observe experiments without the experiments knowing; likewise a
-    :func:`repro.flight.recording` scope attaches the flight recorder.
+    :func:`repro.flight.recording` scope attaches the flight recorder and a
+    :func:`repro.obs.observing` scope attaches the performance-attribution
+    layer.
     """
     sim = Simulation()
     if kind == "aoa":
@@ -320,4 +324,6 @@ def build_platform(kind: str, config: VpConfig, software: GuestSoftware):
     maybe_attach(vp)
     from ..flight import maybe_attach as flight_maybe_attach
     flight_maybe_attach(vp)
+    from ..obs import maybe_attach as obs_maybe_attach
+    obs_maybe_attach(vp)
     return vp

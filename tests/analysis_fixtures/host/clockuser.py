@@ -4,3 +4,9 @@ import time
 
 def wall_clock() -> float:
     return time.perf_counter()
+
+
+def pause(seconds: float) -> None:
+    # RPR002's time.sleep check shares the host/ carve-out: the sanctioned
+    # real-clock boundary may block the host thread for viewers.
+    time.sleep(seconds)

@@ -56,6 +56,13 @@ def test_rpr002_silent_on_thread_context_and_debug_transport():
     assert rules == set()
 
 
+def test_rpr002_allows_sleep_in_host_package_dir():
+    # host/clockuser.py calls time.sleep but lives under host/: exempt,
+    # same carve-out as RPR001.
+    tree_findings = lint_paths([str(FIXTURES)], select=["RPR002"])
+    assert not any("clockuser" in finding.path for finding in tree_findings)
+
+
 # -- RPR003: mutable defaults / set iteration ------------------------------------
 
 def test_rpr003_fires_on_mutable_default_and_set_iteration():

@@ -159,6 +159,44 @@ class TestRunnerCli:
         assert ledger.meta["experiment"] == "ablation-watchdog"
         assert len(ledger.windows) >= 1
 
+    def test_obs_dir_and_history_write_attribution_artifacts(self, tmp_path,
+                                                             capsys):
+        import json
+        import os
+        from repro.obs.trend import load_history
+        obs_dir = str(tmp_path / "obs-out")
+        history = str(tmp_path / "BENCH_obs.json")
+        code = runner_main(["ablation-watchdog", "--scale", "0.01", "--json",
+                            "--obs-dir", obs_dir, "--history", history])
+        assert code == 0
+        capsys.readouterr()
+        # Per-experiment attribution report: one consistent summary per
+        # platform the experiment built, phases tiling each lane's wall.
+        report = json.load(open(os.path.join(obs_dir,
+                                             "ablation-watchdog.obs.json")))
+        assert report["schema"] == "repro.obs.report/1"
+        assert report["summaries"]
+        for summary in report["summaries"]:
+            assert summary["consistent"]
+            for lane in summary["lanes"].values():
+                assert sum(lane["phases"].values()) == pytest.approx(
+                    lane["wall_ns"], rel=1e-9, abs=1e-6)
+        # The snapshot stream sits next to it, one JSON object per line.
+        stream_path = os.path.join(obs_dir, "ablation-watchdog.obs.jsonl")
+        with open(stream_path) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines and lines[-1]["final"]
+        assert report["stream"]["forwarded"] >= len(lines)
+        # The trend file gained one aggregated entry for the experiment.
+        trend = load_history(history)
+        (entry,) = trend["entries"]
+        assert entry["experiments"]["ablation-watchdog"]["mips"] > 0
+
+    def test_history_check_requires_history(self):
+        import pytest
+        with pytest.raises(SystemExit):
+            runner_main(["ablation-budget", "--history-check"])
+
     def test_json_and_markdown_are_exclusive(self, capsys):
         import pytest
         with pytest.raises(SystemExit):

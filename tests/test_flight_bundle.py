@@ -185,3 +185,47 @@ class TestPhaseModeFallback:
         disasm = open(os.path.join(bundle, "cores", "core0.disasm.txt")).read()
         assert "disassembly unavailable" in disasm
         flight.detach()
+
+
+class TestAttributionSnapshot:
+    def test_panic_bundle_carries_obs_attribution(self, tmp_path):
+        from repro.obs import enable_obs
+        vp = make_vp(source=PANIC_GUEST)
+        flight = enable_flight(vp, crash_dir=str(tmp_path))
+        obs = enable_obs(vp)
+        vp.run(SimTime.ms(50))
+        (bundle,) = flight.bundler.bundles
+        metrics = json.load(open(os.path.join(bundle, "metrics.json")))
+        attribution = metrics["attribution"]
+        # A mid-run snapshot (open windows included): phases still tile
+        # each lane's wall time exactly, and the schema marks the source.
+        assert attribution["schema"] == "repro.obs.attribution/1"
+        assert attribution["consistent"]
+        assert attribution["wall_time_ns"] > 0
+        assert "main" in attribution["lanes"]
+        obs.detach()
+        flight.detach()
+
+    def test_bundle_falls_back_to_telemetry_timeline(self, tmp_path):
+        from repro.telemetry import enable_telemetry
+        vp = make_vp(source=PANIC_GUEST)
+        flight = enable_flight(vp, crash_dir=str(tmp_path))
+        telemetry = enable_telemetry(vp)
+        assert getattr(vp, "obs", None) is None
+        vp.run(SimTime.ms(50))
+        (bundle,) = flight.bundler.bundles
+        metrics = json.load(open(os.path.join(bundle, "metrics.json")))
+        attribution = metrics["attribution"]
+        assert attribution["schema"] == "repro.obs.attribution/1"
+        assert attribution["wall_time_ns"] > 0
+        telemetry.detach()
+        flight.detach()
+
+    def test_bundle_without_observers_has_no_attribution(self, tmp_path):
+        vp = make_vp(source=PANIC_GUEST)
+        flight = enable_flight(vp, crash_dir=str(tmp_path))
+        vp.run(SimTime.ms(50))
+        (bundle,) = flight.bundler.bundles
+        metrics = json.load(open(os.path.join(bundle, "metrics.json")))
+        assert "attribution" not in metrics
+        flight.detach()

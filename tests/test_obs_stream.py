@@ -1,0 +1,181 @@
+"""repro.obs streaming: sinks, drop accounting, live view, CLI."""
+
+import json
+import os
+import socket
+import threading
+
+import pytest
+
+from repro.obs.stream import (MAX_CONSECUTIVE_FAILURES, JsonlSink, ObsStreamer,
+                              SocketSink, SubscriberSink)
+from repro.obs.top import follow, iter_jsonl, render_top
+from repro.obs import __main__ as obs_main
+
+
+def snap(window, final=False):
+    return {"platform": "vp#0", "window": window, "final": final,
+            "sim_time_ps": (window + 1) * 100_000_000,
+            "window_wall_ns": 100.0, "wall_ns": 100.0 * (window + 1),
+            "instructions": 1000 * (window + 1), "mips": 10.0,
+            "dispatches": 3,
+            "lanes": {"main": {"busy_ns": 40.0, "utilization": 0.4,
+                               "phases": {"guest": 30.0, "mmio": 10.0}}}}
+
+
+class TestStreamer:
+    def test_stride_thins_and_accounts(self):
+        seen = []
+        streamer = ObsStreamer([SubscriberSink(seen.append)], every=2)
+        for window in range(5):
+            streamer.offer(snap(window))
+        assert [s["window"] for s in seen] == [0, 2, 4]
+        assert streamer.dropped_stride == 2
+        stats = streamer.stats()
+        assert stats["offered"] == 5 and stats["forwarded"] == 3
+
+    def test_cap_drops_and_accounts(self):
+        seen = []
+        streamer = ObsStreamer([SubscriberSink(seen.append)],
+                               max_snapshots=2)
+        for window in range(5):
+            streamer.offer(snap(window))
+        assert len(seen) == 2
+        assert streamer.dropped_cap == 3
+
+    def test_force_bypasses_stride_and_cap(self):
+        seen = []
+        streamer = ObsStreamer([SubscriberSink(seen.append)], every=100,
+                               max_snapshots=0)
+        streamer.offer(snap(7, final=True), force=True)
+        assert seen and seen[0]["final"]
+        assert seen[0]["schema"] == "repro.obs.snapshot/1"
+        assert seen[0]["seq"] == 0
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            ObsStreamer(every=0)
+
+    def test_subscriber_exception_counts_as_drop(self):
+        def explode(_snapshot):
+            raise RuntimeError("subscriber bug")
+
+        sink = SubscriberSink(explode)
+        streamer = ObsStreamer([sink])
+        streamer.offer(snap(0))
+        assert sink.dropped == 1 and sink.accepted == 0
+        # The streamer itself never raises and keeps going.
+        streamer.offer(snap(1))
+        assert sink.dropped == 2
+
+
+class TestJsonlSink:
+    def test_writes_parseable_lines(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        sink = JsonlSink(path)
+        streamer = ObsStreamer([sink])
+        for window in range(3):
+            streamer.offer(snap(window))
+        streamer.offer(snap(3, final=True), force=True)
+        streamer.close()
+        snapshots = list(iter_jsonl(path))
+        assert [s["window"] for s in snapshots] == [0, 1, 2, 3]
+        assert snapshots[-1]["final"]
+
+    def test_iter_jsonl_skips_partial_line(self, tmp_path):
+        path = str(tmp_path / "partial.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps(snap(0)) + "\n")
+            handle.write('{"window": 1, "trunc')    # writer mid-append
+        assert [s["window"] for s in iter_jsonl(path)] == [0]
+
+
+class TestSocketSink:
+    def test_missing_listener_drops_then_goes_dead(self, tmp_path):
+        sink = SocketSink(str(tmp_path / "nobody.sock"))
+        for window in range(MAX_CONSECUTIVE_FAILURES + 3):
+            sink.send(snap(window))
+        assert sink.dead
+        assert sink.accepted == 0
+        assert sink.dropped == MAX_CONSECUTIVE_FAILURES + 3
+
+    def test_delivers_to_listener(self, tmp_path):
+        path = str(tmp_path / "obs.sock")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(path)
+        server.listen(1)
+        received = []
+
+        def listener():
+            connection, _ = server.accept()
+            buffer = b""
+            with connection:
+                while b"\n" not in buffer or len(received) < 3:
+                    chunk = connection.recv(65536)
+                    if not chunk:
+                        break
+                    buffer += chunk
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        received.append(json.loads(line))
+
+        thread = threading.Thread(target=listener)
+        thread.start()
+        sink = SocketSink(path)
+        try:
+            for window in range(3):
+                assert sink.send(snap(window))
+        finally:
+            sink.close()
+            thread.join(timeout=5)
+            server.close()
+        assert [s["window"] for s in received] == [0, 1, 2]
+        assert sink.accepted == 3 and sink.dropped == 0
+
+
+class TestTopView:
+    def test_render_window_frame(self):
+        text = render_top(snap(4))
+        assert "window 4" in text
+        assert "main" in text and "guest" in text
+        assert "MIPS" in text
+
+    def test_render_final_frame(self):
+        frame = {"platform": "vp#0", "final": True,
+                 "summary": {"windows": 9, "wall_time_ns": 900.0,
+                             "mips": 123.0,
+                             "projected": {"parallel_speedup": 2.0,
+                                           "parallel_efficiency": 1.0},
+                             "lanes": {"main": {"utilization": 0.5}}}}
+        text = render_top(frame)
+        assert "run complete" in text and "2.00x" in text
+
+    def test_follow_stops_on_final(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        with open(path, "w") as handle:
+            for window in range(3):
+                handle.write(json.dumps(snap(window)) + "\n")
+            handle.write(json.dumps(snap(3, final=True)) + "\n")
+            handle.write(json.dumps(snap(99)) + "\n")   # after the end
+        snapshots = list(follow(path))
+        assert [s["window"] for s in snapshots] == [0, 1, 2, 3]
+
+
+class TestCli:
+    def test_top_replays_a_stream(self, tmp_path, capsys):
+        path = str(tmp_path / "stream.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps(snap(0)) + "\n")
+            handle.write(json.dumps(snap(1, final=True)) + "\n")
+        assert obs_main.main(["top", path]) == 0
+        out = capsys.readouterr().out
+        assert "window 0" in out
+
+    def test_top_without_source_errors(self):
+        with pytest.raises(SystemExit):
+            obs_main.main(["top"])
+
+    def test_top_empty_stream_fails(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        assert obs_main.main(["top", path]) == 1

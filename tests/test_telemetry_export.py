@@ -34,13 +34,19 @@ class TestChromeTrace:
         events = document["traceEvents"]
         assert events
         for event in events:
-            assert event["ph"] in ("X", "M")
+            assert event["ph"] in ("X", "M", "C", "s", "f")
             assert isinstance(event["pid"], int)
             assert isinstance(event["tid"], int)
             if event["ph"] == "X":
                 assert event["ts"] >= 0
                 assert event["dur"] >= 0
                 assert event["cat"] in ("host", "sim")
+            elif event["ph"] == "C":
+                assert event["name"].startswith("util.")
+                assert 0.0 <= event["args"]["utilization"] <= 1.0
+            elif event["ph"] in ("s", "f"):
+                assert event["cat"] == "mmio"
+                assert "id" in event
 
     def test_one_thread_track_per_billed_host_lane(self):
         vp, telemetry = traced_run(cores=2, parallel=True)
@@ -71,6 +77,55 @@ class TestChromeTrace:
                      if event["ph"] == "X" and event["cat"] == "sim"]
         assert sim_spans
         assert all(event["name"] == "wfi_suspend" for event in sim_spans)
+
+    def test_utilization_counter_tracks_per_window(self):
+        vp, telemetry = traced_run()
+        (_key, _vp, timeline) = telemetry.platforms[0]
+        table = timeline.window_table()
+        assert table
+        document = chrome_trace(telemetry)
+        counters = [event for event in document["traceEvents"]
+                    if event["ph"] == "C"]
+        tracks = {event["name"] for event in counters}
+        assert tracks == {f"util.{track}"
+                          for _w, _s, _n, busy in table for track in busy}
+        # One sample per window per track, plus a trailing zero per track
+        # so the final sample has extent.
+        assert len(counters) == len(table) * len(tracks) + len(tracks)
+        for track in tracks:
+            samples = sorted((e for e in counters if e["name"] == track),
+                             key=lambda e: e["ts"])
+            assert samples[-1]["args"]["utilization"] == 0
+            assert any(e["args"]["utilization"] > 0 for e in samples[:-1])
+        # Counter start offsets line up with the laid-out window starts.
+        starts = sorted({event["ts"] for event in counters})
+        assert starts[:len(table)] == [start / 1e3
+                                       for _w, start, _n, _b in table]
+
+    def test_mmio_flows_pair_worker_and_main_lane_in_parallel_mode(self):
+        _, telemetry = traced_run(cores=2, parallel=True)
+        (_key, _vp, timeline) = telemetry.platforms[0]
+        assert timeline.mmio_flows()
+        document = chrome_trace(telemetry)
+        starts = [e for e in document["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in document["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == len(timeline.mmio_flows())
+        by_id = {event["id"]: event for event in finishes}
+        for start in starts:
+            finish = by_id[start["id"]]
+            assert finish["bp"] == "e"
+            # The arrow hops lanes: issuing core -> SystemC main thread.
+            # (No ts ordering claim: parallel layout stacks each lane from
+            # the window start, so the completion slice may sit earlier on
+            # the folded axis than the request slice.)
+            assert start["tid"] != finish["tid"]
+            assert start["args"]["window"] == finish["args"]["window"]
+
+    def test_sequential_mode_has_no_flow_events(self):
+        _, telemetry = traced_run()
+        document = chrome_trace(telemetry)
+        assert not [event for event in document["traceEvents"]
+                    if event["ph"] in ("s", "f")]
 
     def test_write_chrome_trace_file(self, tmp_path):
         _, telemetry = traced_run()

@@ -111,12 +111,33 @@ def run_instrumented(**kwargs):
 
 
 class TestAttachment:
-    def test_enable_sets_handle_and_rejects_double_attach(self):
+    def test_enable_is_idempotent(self):
         vp = make_vp()
         telemetry = enable_telemetry(vp)
         assert vp.telemetry is telemetry
+        # A second enable returns the existing handle instead of stacking a
+        # second probe set (even when handed a different registry).
+        assert enable_telemetry(vp) is telemetry
+        assert enable_telemetry(vp, MetricsRegistry()) is telemetry
+        assert vp.telemetry is telemetry
+        # Direct attach keeps its guard: it would double-wrap.
         with pytest.raises(ValueError):
-            enable_telemetry(vp)
+            Telemetry().attach(vp)
+
+    def test_double_enable_does_not_double_count(self):
+        vp = make_vp()
+        telemetry = enable_telemetry(vp)
+        again = enable_telemetry(vp)
+        vp.run(SimTime.ms(50))
+        assert again is telemetry
+        # One set of probes: the dispatch counter matches the kernel's own
+        # tally, and each UART store is one fabric access, not two.
+        registry = telemetry.registry
+        dispatches = registry.total("kernel.dispatch")
+        assert dispatches > 0
+        reference, _ = run_instrumented()
+        expected = reference.telemetry.registry.total("fabric.accesses")
+        assert registry.total("fabric.accesses") == expected
 
     def test_shared_registry_across_platforms(self):
         registry = MetricsRegistry()

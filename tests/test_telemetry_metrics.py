@@ -139,3 +139,64 @@ class TestSpanRecorder:
         recorder.complete("core0", "wfi", 0, 3)
         assert recorder.tracks() == ["core0", "core1"]
         assert recorder.spans[0].args == {"core": 1}
+
+
+class TestMetricsEdgeCases:
+    """Boundary and consistency behaviour the obs layer leans on."""
+
+    def test_bucket_bounds_are_inclusive_upper_bounds(self):
+        # observe() uses ``value <= bound``: a value sitting exactly on a
+        # 1-2-5 boundary belongs to that bucket, not the next one up.
+        histogram = MetricsRegistry().histogram("latency")
+        for boundary in (1, 2, 5, 10, 20, 50):
+            histogram.observe(boundary)
+        occupied = histogram.to_json()["buckets"]
+        assert occupied == {repr(b): 1 for b in (1, 2, 5, 10, 20, 50)}
+        # Just past a boundary spills into the next decade step.
+        histogram.observe(2.0001)
+        assert histogram.to_json()["buckets"][repr(5)] == 2
+
+    def test_values_beyond_last_bound_land_in_overflow(self):
+        histogram = MetricsRegistry().histogram("latency")
+        top = DEFAULT_BUCKETS[-1]
+        histogram.observe(top)            # inclusive: last finite bucket
+        histogram.observe(top * 1.001)    # past the end: +inf bucket
+        buckets = histogram.to_json()["buckets"]
+        assert buckets[repr(top)] == 1
+        assert buckets["+inf"] == 1
+        assert sum(buckets.values()) == histogram.count == 2
+
+    def test_label_cardinality_growth_stays_deterministic(self):
+        registry = MetricsRegistry()
+        # Insert series in scrambled order and with scrambled kwarg order;
+        # the registry must expose one series per distinct label set, in
+        # sorted order, independent of insertion history.
+        for core in (3, 1, 4, 1, 5, 9, 2, 6):
+            registry.counter("kvm.exits", reason="mmio", core=core).inc()
+        for core in (2, 7, 1):
+            registry.counter("kvm.exits", core=core, reason="irq").inc()
+        assert len(registry) == 7 + 3
+        labels = [series.labels for series in registry.series_of("kvm.exits")]
+        assert labels == sorted(labels, key=lambda l: (l["core"], l["reason"]))
+        assert registry.total("kvm.exits", core=1) == 3
+        assert registry.total("kvm.exits") == 8 + 3
+
+    def test_snapshot_is_decoupled_from_later_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        histogram = registry.histogram("latency")
+        counter.inc(2)
+        histogram.observe(3)
+        before = registry.snapshot()
+        import copy
+        frozen = copy.deepcopy(before)
+        counter.inc(40)
+        histogram.observe(7)
+        registry.gauge("new.series").set(1)
+        # The snapshot taken earlier does not observe the new activity...
+        assert before == frozen
+        # ...while a fresh one does.
+        after = registry.snapshot()
+        assert after["num_series"] == 3
+        by_name = {m["name"]: m for m in after["metrics"]}
+        assert by_name["events"]["series"][0]["value"] == 42
