@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Microbenchmark for the parallel quantum kernel (repro.systemc.parallel).
+
+One leg: the *functional* multicore Dhrystone (real A64-lite guest code,
+interpreted instruction by instruction — heavy Python work per simulate
+leg) on the ``aoa`` platform, measured under the ``serial`` reference
+executor and under the ``threads`` backend, with the legacy inline loop as
+a free third data point.  The figure of merit is the *wall-clock ratio*
+``threads / serial``: the thread backend pays one queue dispatch + one
+host-event wait per lane per quantum round, and the acceptance gate is
+that this overhead stays within ``--max-ratio`` (default 1.15x) of the
+serial reference when per-round leg work dominates.  (Phase-mode
+workloads consume their cycle budgets analytically — microseconds of
+Python per leg — so they measure dispatch overhead, not the executor;
+the interpreter workload is the honest one.)
+
+The emitted JSON (``--out BENCH_parallel.json``) records best-of runtimes
+per backend, the ratio, and the thread executor's measured ledger
+(rounds, Σ leg wall vs round wall, measured speedup).  Ratios, not
+absolute runtimes, are compared against the committed baseline
+(``--check benchmarks/parallel_baseline.json``): they are stable across
+machines while seconds are not.
+
+Exit status is non-zero when the ratio exceeds ``--max-ratio``, or when
+``--check`` finds the ratio more than ``--tolerance`` above the baseline.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(REPO_SRC) not in sys.path:
+    sys.path.insert(0, str(REPO_SRC))
+
+from repro.systemc.time import SimTime                           # noqa: E402
+from repro.vp.config import VpConfig                             # noqa: E402
+from repro.vp.platform import build_platform                     # noqa: E402
+from repro.workloads.guest_programs import functional_dhrystone  # noqa: E402
+
+
+def measure(backend, cores, iterations, quantum_us):
+    """One fresh run; returns (python seconds, rounds, measured ledger)."""
+    software, _expected = functional_dhrystone(iterations)
+    config = VpConfig(num_cores=cores, quantum=SimTime.us(quantum_us),
+                      parallel=True, exec_backend=backend)
+    vp = build_platform("aoa", config, software)
+    begin = time.perf_counter()
+    try:
+        vp.run(SimTime.seconds(10))
+    finally:
+        if vp.executor is not None:
+            vp.executor.shutdown()
+    elapsed = time.perf_counter() - begin
+    if not (vp.all_halted or vp.simctl.shutdown_requested):
+        raise RuntimeError(f"benchmark run under {backend!r} did not finish")
+    measured = (vp.executor.measured.to_json()
+                if vp.executor is not None else None)
+    return elapsed, measured
+
+
+def run(cores, iterations, quantum_us, repeats):
+    """Best-of-``repeats``, backends interleaved.
+
+    Interleaving plus best-of filters transient host contention out of
+    the ratio: a slow phase of the machine hits every backend, and the
+    fastest observed runtime is the closest estimate of the true cost.
+    """
+    best = {"legacy": float("inf"), "serial": float("inf"),
+            "threads": float("inf")}
+    measured = None
+    for _ in range(repeats):
+        for backend in (None, "serial", "threads"):
+            elapsed, ledger = measure(backend, cores, iterations, quantum_us)
+            key = backend or "legacy"
+            if elapsed < best[key]:
+                best[key] = elapsed
+                if backend == "threads":
+                    measured = ledger
+    ratio = best["threads"] / best["serial"]
+    return {
+        "config": {
+            "cores": cores,
+            "iterations": iterations,
+            "quantum_us": quantum_us,
+            "repeats": repeats,
+            "workload": "functional_dhrystone",
+            "python": sys.version.split()[0],
+        },
+        "legacy_seconds": round(best["legacy"], 6),
+        "serial_seconds": round(best["serial"], 6),
+        "threads_seconds": round(best["threads"], 6),
+        "ratio": round(ratio, 3),
+        "measured": measured,
+    }
+
+
+def check_against_baseline(results, baseline, tolerance):
+    """Ratio regression check; returns a list of failure strings."""
+    reference = baseline.get("ratio")
+    if reference is None:
+        return []
+    ceiling = reference * (1.0 + tolerance)
+    if results["ratio"] > ceiling:
+        return [
+            f"threads/serial ratio {results['ratio']:.2f}x regressed above "
+            f"{ceiling:.2f}x (baseline {reference:.2f}x + "
+            f"{tolerance:.0%} tolerance)"
+        ]
+    return []
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cores", type=int, default=2,
+                        help="guest cores / executor lanes (default: %(default)s)")
+    parser.add_argument("--iterations", type=int, default=150,
+                        help="dhrystone iterations per core (default: %(default)s)")
+    parser.add_argument("--quantum-us", type=float, default=2.0,
+                        help="quantum in microseconds (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved best-of repeats (default: %(default)s)")
+    parser.add_argument("--out", default="BENCH_parallel.json",
+                        help="result JSON path (default: %(default)s)")
+    parser.add_argument("--max-ratio", type=float, default=1.15,
+                        help="fail when threads wall-clock exceeds this "
+                             "multiple of serial (default: %(default)s)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare the ratio against a baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed ratio regression vs the baseline "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    results = run(args.cores, args.iterations, args.quantum_us, args.repeats)
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"legacy {results['legacy_seconds']*1e3:.1f} ms, "
+          f"serial {results['serial_seconds']*1e3:.1f} ms, "
+          f"threads {results['threads_seconds']*1e3:.1f} ms "
+          f"-> ratio {results['ratio']:.2f}x")
+    if results["measured"]:
+        measured = results["measured"]
+        print(f"thread executor: {measured['rounds']} rounds, "
+              f"{measured['legs']} legs, "
+              f"measured speedup {measured['speedup']:.2f}x")
+    print(f"wrote {args.out}")
+
+    failed = False
+    if results["ratio"] > args.max_ratio:
+        print(f"FAIL: threads/serial ratio {results['ratio']:.2f}x exceeds "
+              f"the {args.max_ratio:.2f}x gate")
+        failed = True
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        for failure in check_against_baseline(results, baseline,
+                                              args.tolerance):
+            print(f"FAIL: {failure}")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

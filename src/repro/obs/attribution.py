@@ -121,6 +121,9 @@ class AttributionSummary:
     dispatches: int = 0
     late_events: int = 0
     notes: Dict[str, object] = field(default_factory=dict)
+    #: measured executor stats (repro.systemc.parallel MeasuredLedger
+    #: to_json), present only when a quantum executor ran the platform
+    measured: Optional[Dict[str, object]] = None
 
     # -- derived figures ----------------------------------------------------
     @property
@@ -209,6 +212,7 @@ class AttributionSummary:
                 "busy_sum_ns": self.busy_sum_ns,
                 "busy_max_ns": self.busy_max_ns,
             },
+            "measured": self.measured,
             "consistent": not self.verify(),
         }
 
@@ -392,6 +396,13 @@ def render_summary(summary: AttributionSummary) -> str:
     lines.append(
         f"projected parallel speedup {summary.projected_parallel_speedup:.2f}x"
         f"  efficiency {summary.projected_parallel_efficiency:.2f}")
+    measured = summary.measured
+    if measured is not None:
+        lines.append(
+            f"measured parallel speedup {measured.get('speedup', 0.0):.2f}x"
+            f"  [{measured.get('backend', '?')} executor, "
+            f"{measured.get('rounds', 0)} rounds, "
+            f"{measured.get('legs', 0)} legs]")
     header = f"{'lane':8s} {'util':>6s}" + "".join(
         f" {phase:>12s}" for phase in PHASES)
     lines.append(header)

@@ -1,0 +1,384 @@
+"""Quantum-scoped parallel execution of per-core simulate legs.
+
+The paper's scheme runs every core's ``simulate(cycles)`` leg concurrently
+and synchronizes only at quantum boundaries.  This module implements that
+scheme on top of the cooperative kernel without giving up bit-for-bit
+determinism:
+
+* :class:`QuantumExecutor` collects one :class:`Leg` per core as the
+  processor SC_THREADs submit their quantum work, then runs the whole round
+  when the kernel's runnable queue drains (``Kernel.barrier_hook``).
+* While a leg runs, every cross-lane effect — kernel event notifications,
+  update requests, timed scheduling, IRQ line writes, host-time billing —
+  is *captured* into the leg's :class:`LaneLog` instead of being applied
+  (see the leg checks in :mod:`repro.systemc.kernel` and
+  :class:`repro.systemc.signal.IrqLine`).  At the barrier the logs replay
+  on the main thread in canonical order: lane id first, intra-lane capture
+  sequence second.
+* Shared *data* (guest RAM, TLM transports, DMI bookkeeping) cannot be
+  deferred — a leg needs its MMIO read data immediately — so those paths
+  funnel through :func:`repro.systemc.kernel.enter_shared_section`: a
+  lane-ordered commit token.  A leg's first shared access blocks until all
+  lower-numbered lanes' legs have completed, and the token is held until
+  the leg ends.  Shared-data access order is therefore *exactly* the serial
+  order; only the pre-token portions of legs (pure guest compute, vcpu
+  state, watchdog arming) overlap.
+
+Backends:
+
+``serial``
+    The reference: legs run inline on the main thread, one lane at a time,
+    but through the same capture/merge machinery — the determinism oracle
+    the thread backend is gated against (``repro.divergence execcheck``).
+``threads``
+    One persistent daemon worker per lane; real host concurrency for the
+    pre-token leg portions (and for everything once free-threaded builds
+    land).  ``delay_hook`` injects per-lane scheduling jitter for the
+    schedule-independence stress tests.
+``free-threaded`` / ``subinterpreters``
+    Stubs for PEP 703 no-GIL builds and per-lane subinterpreters, gated
+    behind ``REPRO_PARALLEL_EXPERIMENTAL=1``.
+
+Both live backends produce identical kernel dispatch streams by
+construction: same submission order, same commit-token order, same merge
+order.  The divergence gate verifies it end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..host.accounting import MeasuredLedger
+from ..host.wallclock import wall_clock
+from .kernel import Kernel, _set_current_leg, set_ambient_kernel
+
+#: backends create_executor accepts (None/"off"/"legacy" mean: no executor)
+BACKENDS = ("serial", "threads", "free-threaded", "subinterpreters")
+EXPERIMENTAL_ENV = "REPRO_PARALLEL_EXPERIMENTAL"
+
+
+class LaneLog:
+    """Ordered per-lane effect queue: capture in the leg, replay at merge."""
+
+    __slots__ = ("lane", "entries")
+
+    def __init__(self, lane: int):
+        self.lane = lane
+        self.entries: List[Callable[[], None]] = []
+
+    def capture(self, thunk: Callable[[], None]) -> None:
+        # Append order *is* the intra-lane sequence: only the lane's own
+        # worker appends, and replay walks the list front to back.
+        self.entries.append(thunk)
+
+    def replay(self) -> None:
+        for thunk in self.entries:
+            thunk()
+        self.entries.clear()
+
+
+class _CommitGate:
+    """The lane-ordered commit token for one round of legs.
+
+    ``acquire(lane)`` blocks until every participating lane below ``lane``
+    has *finished* its leg; ``finish(lane)`` (always called, exactly once,
+    when a leg ends) releases the token to the next lane.  A leg that never
+    touches shared state still advances the gate on completion.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._order: List[int] = []
+        self._done: set = set()
+        self._index = 0
+
+    def start_round(self, lanes: List[int]) -> None:
+        with self._cond:
+            self._order = list(lanes)
+            self._done = set()
+            self._index = 0
+
+    def acquire(self, lane: int) -> None:
+        with self._cond:
+            while self._order[self._index] != lane:
+                self._cond.wait()
+
+    def finish(self, lane: int) -> None:
+        with self._cond:
+            self._done.add(lane)
+            while (self._index < len(self._order)
+                    and self._order[self._index] in self._done):
+                self._index += 1
+            self._cond.notify_all()
+
+
+class Leg:
+    """One core's simulate work for the current quantum round."""
+
+    __slots__ = ("lane", "cpu", "cycles", "done", "log", "result",
+                 "exception", "wall_ns", "gate", "token_held", "host_done")
+
+    def __init__(self, lane: int, cpu, cycles: int, done_event):
+        self.lane = lane
+        self.cpu = cpu
+        self.cycles = cycles
+        self.done = done_event            # kernel Event the SC_THREAD waits on
+        self.log = LaneLog(lane)
+        self.result = None
+        self.exception: Optional[BaseException] = None
+        self.wall_ns = 0.0
+        self.gate: Optional[_CommitGate] = None
+        self.token_held = False
+        self.host_done: Optional[threading.Event] = None
+
+    # -- used by the kernel's leg checks -----------------------------------
+    def capture(self, thunk: Callable[[], None]) -> None:
+        self.log.capture(thunk)
+
+    def enter_shared_section(self) -> None:
+        if self.token_held or self.gate is None:
+            return
+        self.gate.acquire(self.lane)
+        self.token_held = True
+
+    # -- used by the processor SC_THREAD -----------------------------------
+    def take_result(self):
+        """The leg's SimulateResult; re-raises a worker exception in the
+        SC_THREAD so it reaches kernel dispatch (and the error_hook)."""
+        if self.exception is not None:
+            exception, self.exception = self.exception, None
+            raise exception
+        if self.result is None:
+            raise RuntimeError(
+                f"leg for lane {self.lane} has no result; the quantum "
+                f"barrier has not run it yet")
+        return self.result
+
+
+class QuantumExecutor:
+    """Base executor: leg submission, the barrier round, the merge."""
+
+    backend = "abstract"
+
+    def __init__(self, kernel: Kernel, num_lanes: int):
+        self.kernel = kernel
+        self.num_lanes = num_lanes
+        self.measured = MeasuredLedger(self.backend)
+        self.rounds = 0
+        self._pending: Dict[int, Leg] = {}
+        self._done_events: Dict[int, object] = {}
+        #: test seam: called as delay_hook(lane, round_no) in the worker
+        #: right before the leg body runs (schedule-randomization stress)
+        self.delay_hook: Optional[Callable[[int, int], None]] = None
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, cpu, cycles: int) -> Leg:
+        """Register one core's quantum leg; the SC_THREAD then waits on
+        ``leg.done`` until the barrier has run and merged the round."""
+        lane = cpu.core_id
+        if lane in self._pending:
+            raise RuntimeError(
+                f"lane {lane} already has a pending leg this round")
+        done = self._done_events.get(lane)
+        if done is None:
+            done = self.kernel.event(f"lane{lane}.leg_done")
+            self._done_events[lane] = done
+        leg = Leg(lane, cpu, cycles, done)
+        self._pending[lane] = leg
+        return leg
+
+    # -- the quantum barrier -------------------------------------------------
+    def barrier(self) -> bool:
+        """Kernel ``barrier_hook``: run pending legs, merge, wake submitters.
+
+        Returns False when no legs are pending (the kernel proceeds to its
+        time advance), True after a round ran (the kernel re-enters the
+        delta cycle at the same simulation time).
+        """
+        if not self._pending:
+            return False
+        legs, self._pending = self._pending, {}
+        lanes = sorted(legs)
+        round_no = self.rounds
+        self.rounds += 1
+        started = wall_clock()
+        self._run_round([legs[lane] for lane in lanes], round_no)
+        round_wall_ns = (wall_clock() - started) * 1e9
+        # Canonical merge: lane id first, intra-lane capture sequence second.
+        for lane in lanes:
+            legs[lane].log.replay()
+        # Wake every submitter (immediate notify in barrier context); the
+        # next delta cycle resumes them in lane order.
+        for lane in lanes:
+            legs[lane].done.notify(delay=None)
+        self.measured.record_round(
+            [legs[lane].wall_ns for lane in lanes], round_wall_ns)
+        return True
+
+    def _run_round(self, legs: List[Leg], round_no: int) -> None:
+        raise NotImplementedError
+
+    # -- one leg, any backend -------------------------------------------------
+    def _run_leg(self, leg: Leg, round_no: int) -> None:
+        """Execute one leg with capture active and billing deferred."""
+        cpu = leg.cpu
+        # Defer the *outermost* billing callable (which may be the obs
+        # wrapper) so the whole chain replays at the merge: host-ledger
+        # floats and the attribution fold are main-thread-only state.
+        had_override = "bill_host_time" in cpu.__dict__
+        bound = cpu.bill_host_time
+
+        def deferred_bill(nanoseconds, category="cpu", main_thread=False):
+            leg.capture(lambda: bound(nanoseconds, category, main_thread))
+
+        cpu.bill_host_time = deferred_bill
+        _set_current_leg(leg)
+        started = wall_clock()
+        try:
+            hook = self.delay_hook
+            if hook is not None:
+                hook(leg.lane, round_no)
+            leg.result = cpu._invoke_simulate(leg.cycles)
+        except BaseException as exception:
+            leg.exception = exception
+        finally:
+            leg.wall_ns = (wall_clock() - started) * 1e9
+            _set_current_leg(None)
+            if had_override:
+                cpu.bill_host_time = bound
+            else:
+                del cpu.__dict__["bill_host_time"]
+            if leg.gate is not None:
+                leg.gate.finish(leg.lane)
+            if leg.host_done is not None:
+                leg.host_done.set()
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent; serial has none)."""
+
+    def stats(self) -> dict:
+        return self.measured.to_json()
+
+
+class SerialExecutor(QuantumExecutor):
+    """Reference backend: legs run inline, in lane order, on the main
+    thread — through the identical capture/merge path as ``threads``."""
+
+    backend = "serial"
+
+    def _run_round(self, legs: List[Leg], round_no: int) -> None:
+        for leg in legs:
+            self._run_leg(leg, round_no)
+
+
+class ThreadExecutor(QuantumExecutor):
+    """One persistent daemon worker thread per lane."""
+
+    backend = "threads"
+
+    def __init__(self, kernel: Kernel, num_lanes: int):
+        super().__init__(kernel, num_lanes)
+        self._gate = _CommitGate()
+        self._queues: Dict[int, "queue.Queue"] = {}
+        self._workers: Dict[int, threading.Thread] = {}
+        self._shut_down = False
+
+    def _ensure_worker(self, lane: int) -> "queue.Queue":
+        lane_queue = self._queues.get(lane)
+        if lane_queue is None:
+            if self._shut_down:
+                raise RuntimeError("executor already shut down")
+            lane_queue = queue.Queue()
+            worker = threading.Thread(
+                target=self._worker, args=(lane_queue,),
+                name=f"repro-lane{lane}", daemon=True)
+            self._queues[lane] = lane_queue
+            self._workers[lane] = worker
+            worker.start()
+        return lane_queue
+
+    def _worker(self, lane_queue: "queue.Queue") -> None:
+        # Worker threads inherit nothing from the main thread's
+        # threading.local slots: adopt the platform's kernel explicitly.
+        set_ambient_kernel(self.kernel)
+        while True:
+            item = lane_queue.get()
+            if item is None:
+                return
+            leg, round_no = item
+            self._run_leg(leg, round_no)
+
+    def _run_round(self, legs: List[Leg], round_no: int) -> None:
+        self._gate.start_round([leg.lane for leg in legs])
+        for leg in legs:
+            leg.gate = self._gate
+            leg.host_done = threading.Event()
+            self._ensure_worker(leg.lane).put((leg, round_no))
+        for leg in legs:
+            leg.host_done.wait()
+
+    def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for lane_queue in self._queues.values():
+            lane_queue.put(None)
+        for worker in self._workers.values():
+            worker.join(timeout=5.0)
+        self._queues.clear()
+        self._workers.clear()
+
+
+class FreeThreadedExecutor(ThreadExecutor):
+    """Stub for PEP 703 free-threaded CPython builds.
+
+    Functionally identical to :class:`ThreadExecutor` today; on a no-GIL
+    build the pre-token leg portions genuinely run in parallel.  Gated
+    behind ``REPRO_PARALLEL_EXPERIMENTAL=1`` until such builds are a
+    supported target.
+    """
+
+    backend = "free-threaded"
+
+
+class SubinterpreterExecutor(QuantumExecutor):
+    """Stub for per-lane subinterpreters (PEP 734).
+
+    Simulate legs share the platform object graph by reference, which
+    subinterpreters cannot do without a shared-memory redesign; the stub
+    exists so the backend matrix and the feature flag are in place.
+    """
+
+    backend = "subinterpreters"
+
+    def _run_round(self, legs: List[Leg], round_no: int) -> None:
+        raise NotImplementedError(
+            "the subinterpreter backend is a stub: per-lane interpreters "
+            "cannot share the platform object graph yet")
+
+
+def experimental_enabled() -> bool:
+    return os.environ.get(EXPERIMENTAL_ENV, "").strip() not in ("", "0")
+
+
+def create_executor(backend: str, kernel: Kernel,
+                    num_lanes: int) -> QuantumExecutor:
+    """Build the executor for one platform; raises on unknown/gated names."""
+    if backend == "serial":
+        return SerialExecutor(kernel, num_lanes)
+    if backend == "threads":
+        return ThreadExecutor(kernel, num_lanes)
+    if backend in ("free-threaded", "subinterpreters"):
+        if not experimental_enabled():
+            raise ValueError(
+                f"backend {backend!r} is experimental; set "
+                f"{EXPERIMENTAL_ENV}=1 to enable it")
+        if backend == "free-threaded":
+            return FreeThreadedExecutor(kernel, num_lanes)
+        return SubinterpreterExecutor(kernel, num_lanes)
+    raise ValueError(
+        f"unknown parallel backend {backend!r} (want one of {BACKENDS})")

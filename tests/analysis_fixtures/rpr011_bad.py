@@ -1,0 +1,39 @@
+"""RPR011 fixture: ambient-kernel access and hook rewiring from legs."""
+
+
+class AmbientCpu(Processor):
+    def simulate(self, cycles):
+        # BAD: resolves the ambient (thread-local) kernel from a leg; on a
+        # worker lane this is the lane's view, not the owning kernel.
+        kernel = current_kernel()
+        kernel.schedule_callback(SimTime.ns(1), self._tick)
+        return SimulateResult(cycles, SimulateAction.CONTINUE)
+
+    def _tick(self):
+        pass
+
+
+class TracingCpu(Processor):
+    def simulate(self, cycles):
+        # BAD: rewires the trace-hook chain while other lanes dispatch.
+        self.kernel.trace_hook = self._observe
+        # BAD: hook registration is an attach/detach-time operation.
+        Kernel.add_trace_hook(self._observe, priority=30)
+        return SimulateResult(cycles, SimulateAction.CONTINUE)
+
+    def _observe(self, kind, time_ps, name):
+        pass
+
+
+class LegacyDevice:
+    def __init__(self):
+        self.socket = TargetSocket("legacy", transport_fn=self._reg_transport)
+
+    def _reg_transport(self, payload, delay):
+        # BAD: reads the retired process-wide kernel global.
+        kernel = _current_kernel
+        kernel.time_hook = self._on_time   # BAD: observation-hook store
+        return delay
+
+    def _on_time(self, now_ps):
+        pass

@@ -1,0 +1,33 @@
+"""RPR011 negative fixture: construction-time kernel references, hook
+rewiring only outside simulate-leg paths."""
+
+
+class WellBehavedCpu(Processor):
+    def __init__(self, name, quantum):
+        super().__init__(name, quantum)
+        # GOOD: ambient-kernel lookup at construction time (elaboration),
+        # captured once and carried by the instance.
+        self._kernel = current_kernel()
+
+    def simulate(self, cycles):
+        # GOOD: leg code uses the reference captured at construction time.
+        self._kernel.now
+        return SimulateResult(cycles, SimulateAction.CONTINUE)
+
+
+class AttachTimeObserver:
+    """Hook rewiring from attach/detach entry points, never from legs."""
+
+    def attach(self, kernel):
+        # GOOD: not reachable from any simulate leg.
+        self._handle = Kernel.add_trace_hook(self._observe, priority=30)
+        kernel.time_hook = self._on_time
+
+    def detach(self):
+        Kernel.remove_trace_hook(self._handle)
+
+    def _observe(self, kind, time_ps, name):
+        pass
+
+    def _on_time(self, now_ps):
+        pass

@@ -1,4 +1,4 @@
-"""Static race-rule tests: RPR008–RPR010 fixtures, the lane model's
+"""Static race-rule tests: RPR008–RPR011 fixtures, the lane model's
 classification, fingerprint stability, and the baseline's shrink-only
 semantics (including the committed tree baseline)."""
 
@@ -78,6 +78,27 @@ def test_rpr010_fires_on_barrier_only_api_from_legs():
 
 def test_rpr010_silent_on_delta_notify_and_barrier_context():
     _, rules = rules_fired(FIXTURES / "rpr010_good.py", select=["RPR010"])
+    assert rules == set()
+
+
+# -- RPR011: ambient-kernel access / hook rewiring ---------------------------------
+
+def test_rpr011_fires_on_ambient_kernel_and_hook_mutation_from_legs():
+    findings, rules = rules_fired(FIXTURES / "rpr011_bad.py", select=["RPR011"])
+    assert rules == {"RPR011"}
+    messages = " ".join(finding.message for finding in findings)
+    assert "current_kernel()" in messages
+    assert "trace_hook =" in messages
+    assert "time_hook =" in messages
+    assert "add_trace_hook()" in messages
+    assert "_current_kernel" in messages
+    assert len(findings) == 5
+    assert all(finding.severity is Severity.ERROR for finding in findings)
+    assert all("lane path:" in finding.context for finding in findings)
+
+
+def test_rpr011_silent_on_construction_time_and_attach_time_patterns():
+    _, rules = rules_fired(FIXTURES / "rpr011_good.py", select=["RPR011"])
     assert rules == set()
 
 

@@ -1,0 +1,364 @@
+"""Parallel quantum kernel: executor backends, the deterministic barrier
+merge, the thread-local kernel context, and the commit gate.
+
+The load-bearing property: the ``serial`` reference executor and the
+``threads`` backend produce bit-identical kernel dispatch streams — for any
+worker scheduling — and the thread-local kernel context keeps concurrent
+kernels on separate threads from clobbering each other.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.analysis.determinism import KernelTrace
+from repro.bench.measure import make_config, run_workload
+from repro.systemc.kernel import Kernel, current_kernel, set_ambient_kernel
+from repro.systemc.parallel import (
+    BACKENDS,
+    FreeThreadedExecutor,
+    SerialExecutor,
+    SubinterpreterExecutor,
+    ThreadExecutor,
+    _CommitGate,
+    create_executor,
+)
+from repro.systemc.time import SimTime
+from repro.vp.config import VpConfig, normalize_exec_backend, resolve_exec_backend
+from repro.vp.platform import build_platform
+from repro.workloads.dhrystone import DhrystoneParams, dhrystone_software
+
+
+def _build(backend, cores=2, iterations=4000, quantum_us=50.0):
+    config = make_config(cores, quantum_us, parallel=True,
+                         exec_backend=backend)
+    software = dhrystone_software(cores, DhrystoneParams(iterations))
+    return build_platform("aoa", config, software)
+
+
+def _run_traced(backend, cores=2, iterations=4000, quantum_us=50.0,
+                delay_hook=None):
+    """One traced run; returns (dispatch digest, metrics-ish tuple, vp)."""
+    vp = _build(backend, cores, iterations, quantum_us)
+    if delay_hook is not None:
+        vp.executor.delay_hook = delay_hook
+    trace = KernelTrace()
+    handle = Kernel.add_trace_hook(trace.record, priority=Kernel.TRACE_PRIORITY_DIGEST)
+    try:
+        vp.run(SimTime.seconds(100))
+    finally:
+        Kernel.remove_trace_hook(handle)
+        if vp.executor is not None:
+            vp.executor.shutdown()
+    return trace.digest(), (vp.total_instructions(), vp.wall_time_seconds(),
+                            vp.kernel.now.picoseconds), vp
+
+
+# -- thread-local kernel context (the retired process-wide global) --------------
+
+class TestKernelContext:
+    def test_constructing_a_kernel_sets_the_ambient_kernel(self):
+        kernel = Kernel()
+        assert current_kernel() is kernel
+
+    def test_running_kernel_wins_over_a_newer_ambient(self):
+        """A Kernel constructed *during* a run (e.g. a nested tool building
+        its own simulation) must not hijack name resolution for the code
+        the running kernel is dispatching."""
+        first = Kernel()
+        seen = []
+
+        def probe():
+            Kernel()                       # clobbers the ambient slot...
+            seen.append(current_kernel())  # ...but the stack top wins
+            yield first.event("never")
+
+        first.spawn(probe, name="probe")
+        first.run(SimTime.us(1))
+        assert seen == [first]
+
+    def test_concurrent_kernels_on_separate_threads_do_not_interfere(self):
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            kernel = Kernel()              # ambient for *this* thread only
+            barrier.wait()                 # both kernels exist before probing
+            results[tag] = (kernel, current_kernel())
+
+        threads = [threading.Thread(target=worker, args=(tag,))
+                   for tag in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for tag in ("a", "b"):
+            kernel, resolved = results[tag]
+            assert resolved is kernel
+
+    def test_fresh_thread_without_a_kernel_raises(self):
+        caught = []
+
+        def worker():
+            try:
+                current_kernel()
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert len(caught) == 1
+
+    def test_set_ambient_kernel_adopts_a_kernel_on_a_fresh_thread(self):
+        kernel = Kernel()
+        resolved = []
+
+        def worker():
+            set_ambient_kernel(kernel)
+            resolved.append(current_kernel())
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert resolved == [kernel]
+
+
+# -- backend factory / config plumbing ------------------------------------------
+
+class TestBackendSelection:
+    def test_factory_builds_the_live_backends(self):
+        kernel = Kernel()
+        assert isinstance(create_executor("serial", kernel, 2), SerialExecutor)
+        executor = create_executor("threads", kernel, 2)
+        assert isinstance(executor, ThreadExecutor)
+        executor.shutdown()
+
+    def test_factory_rejects_unknown_backends(self):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            create_executor("fibers", Kernel(), 2)
+
+    def test_experimental_backends_are_feature_gated(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_EXPERIMENTAL", raising=False)
+        with pytest.raises(ValueError, match="experimental"):
+            create_executor("free-threaded", Kernel(), 2)
+        monkeypatch.setenv("REPRO_PARALLEL_EXPERIMENTAL", "1")
+        executor = create_executor("free-threaded", Kernel(), 2)
+        assert isinstance(executor, FreeThreadedExecutor)
+        executor.shutdown()
+        assert isinstance(create_executor("subinterpreters", Kernel(), 2),
+                          SubinterpreterExecutor)
+
+    def test_config_normalizes_and_rejects_backend_names(self):
+        assert normalize_exec_backend(None) is None
+        assert normalize_exec_backend("off") is None
+        assert normalize_exec_backend("  Threads ") == "threads"
+        with pytest.raises(ValueError, match="unknown exec backend"):
+            VpConfig(exec_backend="fibers")
+
+    def test_resolve_falls_back_to_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC", "serial")
+        assert resolve_exec_backend(None) == "serial"
+        assert resolve_exec_backend("threads") == "threads"
+        monkeypatch.setenv("REPRO_EXEC", "off")
+        assert resolve_exec_backend(None) is None
+
+    def test_platform_wires_executor_and_barrier_hook(self):
+        vp = _build("threads")
+        try:
+            assert vp.executor is not None
+            assert vp.executor.backend == "threads"
+            assert vp.kernel.barrier_hook == vp.executor.barrier
+            assert all(cpu.quantum_executor is vp.executor for cpu in vp.cpus)
+        finally:
+            vp.executor.shutdown()
+
+    def test_legacy_loop_is_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC", raising=False)
+        vp = _build(None)
+        assert vp.executor is None
+        assert vp.kernel.barrier_hook is None
+        assert all(cpu.quantum_executor is None for cpu in vp.cpus)
+
+
+# -- the commit gate -------------------------------------------------------------
+
+class TestCommitGate:
+    def test_out_of_order_finish_does_not_strand_the_token(self):
+        """Lane 1 finishing before lane 0 (without ever taking the token)
+        must still hand the token to lane 2 once lane 0 is done."""
+        gate = _CommitGate()
+        gate.start_round([0, 1, 2])
+        gate.finish(1)        # lane 1 never touched shared state
+        gate.finish(0)
+        acquired = threading.Event()
+
+        def lane2():
+            gate.acquire(2)
+            acquired.set()
+
+        thread = threading.Thread(target=lane2)
+        thread.start()
+        thread.join(timeout=5.0)
+        assert acquired.is_set()
+
+    def test_acquire_blocks_until_lower_lanes_finish(self):
+        gate = _CommitGate()
+        gate.start_round([0, 1])
+        acquired = threading.Event()
+
+        def lane1():
+            gate.acquire(1)
+            acquired.set()
+
+        thread = threading.Thread(target=lane1)
+        thread.start()
+        assert not acquired.wait(timeout=0.05)
+        gate.finish(0)
+        thread.join(timeout=5.0)
+        assert acquired.is_set()
+
+
+# -- determinism: serial vs threads, any schedule --------------------------------
+
+class TestDeterministicMerge:
+    def test_serial_and_threads_dispatch_streams_are_bit_identical(self):
+        serial_digest, serial_metrics, _ = _run_traced("serial")
+        threads_digest, threads_metrics, _ = _run_traced("threads")
+        assert serial_digest == threads_digest
+        assert serial_metrics == threads_metrics
+
+    def test_schedule_independence_under_randomized_lane_delays(self):
+        """Jitter every lane's start by a seeded random delay: the merged
+        dispatch stream must not move, across schedules and vs serial."""
+        reference, _, _ = _run_traced("serial", cores=3)
+        for seed in (1, 99):
+            rng = random.Random(seed)
+
+            def jitter(lane, round_no):
+                threading.Event().wait(rng.random() * 0.003)
+
+            digest, _, _ = _run_traced("threads", cores=3, delay_hook=jitter)
+            assert digest == reference, f"schedule seed {seed} diverged"
+
+    def test_divergence_ledger_roots_match_across_backends(self):
+        from repro.divergence import WindowLedger
+
+        def root(backend):
+            ledger = WindowLedger(1_000_000)
+            ledger.attach()
+            try:
+                config = make_config(2, 50.0, parallel=True,
+                                     exec_backend=backend)
+                software = dhrystone_software(2, DhrystoneParams(4000))
+                run_workload("aoa", config, software)
+            finally:
+                run = ledger.detach()
+            return run.root_digest
+
+        assert root("serial") == root("threads")
+
+
+# -- failure containment ----------------------------------------------------------
+
+class LegFault(RuntimeError):
+    pass
+
+
+class TestLegFailure:
+    def test_leg_exception_reaches_error_hook_and_does_not_hang(self):
+        vp = _build("threads")
+        errors = []
+        vp.kernel.error_hook = errors.append
+
+        original = vp.cpus[0].simulate
+
+        def faulting(cycles):
+            if vp.cpus[0].num_simulate_calls >= 3:
+                raise LegFault("injected leg fault")
+            return original(cycles)
+
+        vp.cpus[0].simulate = faulting
+        try:
+            with pytest.raises(LegFault):
+                vp.run(SimTime.seconds(100))
+        finally:
+            vp.executor.shutdown()
+        assert len(errors) == 1
+        assert isinstance(errors[0], LegFault)
+
+    def test_take_result_before_the_barrier_is_an_error(self):
+        kernel = Kernel()
+        executor = SerialExecutor(kernel, 1)
+
+        class FakeCpu:
+            core_id = 0
+
+        leg = executor.submit(FakeCpu(), 100)
+        with pytest.raises(RuntimeError, match="barrier has not run"):
+            leg.take_result()
+
+
+# -- measured speedup ledger -------------------------------------------------------
+
+class TestMeasuredLedger:
+    def test_rounds_and_walls_are_recorded(self):
+        _, _, vp = _run_traced("threads")
+        measured = vp.executor.measured.to_json()
+        assert measured["backend"] == "threads"
+        assert measured["rounds"] > 0
+        assert measured["legs"] >= 2 * measured["rounds"] - 1
+        assert measured["max_lanes"] == 2
+        assert measured["serialized_ns"] > 0
+        assert measured["wall_ns"] > 0
+        assert measured["speedup"] == pytest.approx(
+            measured["serialized_ns"] / measured["wall_ns"])
+
+    def test_obs_summary_carries_the_measured_block(self):
+        from repro.obs import observing
+
+        with observing([]) as obs:
+            config = make_config(2, 50.0, parallel=True,
+                                 exec_backend="serial")
+            software = dhrystone_software(2, DhrystoneParams(4000))
+            run_workload("aoa", config, software)
+            obs.finalize()
+            summaries = list(obs.summaries().values())
+        assert summaries
+        measured = summaries[0].to_json()["measured"]
+        assert measured is not None
+        assert measured["backend"] == "serial"
+        assert measured["rounds"] > 0
+
+    def test_legacy_runs_report_no_measured_block(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC", raising=False)
+        from repro.obs import observing
+
+        with observing([]) as obs:
+            config = make_config(1, 50.0, parallel=False)
+            software = dhrystone_software(1, DhrystoneParams(2000))
+            run_workload("aoa", config, software)
+            obs.finalize()
+            summaries = list(obs.summaries().values())
+        assert summaries[0].to_json()["measured"] is None
+
+
+# -- CLI canary --------------------------------------------------------------------
+
+def test_execcheck_cli_reports_identical(capsys):
+    from repro.divergence.cli import main as divergence_main
+
+    code = divergence_main(["execcheck", "--cores", "2",
+                            "--iterations", "2000"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "serial vs threads" in out
+    assert "identical" in out
+
+
+def test_backend_matrix_is_stable():
+    assert BACKENDS == ("serial", "threads", "free-threaded",
+                        "subinterpreters")

@@ -188,7 +188,11 @@ class TestMetricsCapture:
         assert histogram.min > 0
 
     def test_scheduler_and_quantum_metrics(self):
-        _, telemetry = run_instrumented()
+        # A quantum smaller than the guest's runtime, so syncs happen
+        # mid-run in every execution mode (under a quantum executor the
+        # run stops at the shutdown barrier, skipping the final
+        # HALT-path sync the default 100us quantum relies on).
+        _, telemetry = run_instrumented(quantum_us=5)
         registry = telemetry.registry
         assert registry.total("kernel.dispatch", kind="step") > 0
         assert registry.total("quantum.syncs") >= 1
