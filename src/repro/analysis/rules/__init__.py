@@ -16,11 +16,14 @@ RPR010    barrier-only kernel API (``request_update``, immediate ``notify``)
           called from a simulate-leg path
 RPR011    ambient-kernel access (``current_kernel``) or trace/time-hook
           rewiring from a simulate-leg path
+RPR012    non-serializable state (open handles, lambdas, threading objects)
+          on a snapshot-visible Module attribute
 ========  =====================================================================
 
 RPR008–RPR011 (the race rules, see :mod:`.crosslane`) are *non-default*:
 they run through ``python -m repro.analysis --race`` (baseline-gated) or an
-explicit ``--select``, not in the plain lint pass.
+explicit ``--select``, not in the plain lint pass.  RPR012 (see
+:mod:`.snapshotable`) is likewise opt-in via ``--select RPR012``.
 """
 
 from . import (  # noqa: F401
@@ -31,8 +34,9 @@ from . import (  # noqa: F401
     payloads,
     print_output,
     simresult,
+    snapshotable,
     wallclock,
 )
 
 __all__ = ["addrmap", "blocking", "crosslane", "mutable_defaults", "payloads",
-           "print_output", "simresult", "wallclock"]
+           "print_output", "simresult", "snapshotable", "wallclock"]

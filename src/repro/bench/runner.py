@@ -88,6 +88,37 @@ def main(argv: List[str] = None) -> int:
                         help="quantum executor backend for every platform "
                              "built by the experiments (serial, threads; "
                              "default: legacy inline loop / REPRO_EXEC)")
+    parser.add_argument("--snapshot-at", type=float, default=None, metavar="MS",
+                        help="boot the Linux workload to MS simulated "
+                             "milliseconds, capture a repro.snapshot and "
+                             "write it to --snapshot-out (skips the normal "
+                             "experiment run)")
+    parser.add_argument("--snapshot-out", default=None, metavar="FILE",
+                        help="output .rsnap path for --snapshot-at")
+    parser.add_argument("--snapshot-kind", default="aoa",
+                        choices=("aoa", "avp64"),
+                        help="platform kind for --snapshot-at (default aoa)")
+    parser.add_argument("--snapshot-cores", type=int, default=4, metavar="N",
+                        help="core count for --snapshot-at (default 4)")
+    parser.add_argument("--snapshot-quantum-us", type=float, default=100.0,
+                        metavar="US",
+                        help="quantum for --snapshot-at (default 100)")
+    parser.add_argument("--snapshot-parallel", action="store_true",
+                        help="use the parallel quantum scheme for "
+                             "--snapshot-at")
+    parser.add_argument("--from-snapshot", default=None, metavar="FILE",
+                        help="resume a .rsnap written by --snapshot-at: fork "
+                             "one copy-on-write child per --matrix entry and "
+                             "run each to its total simulated duration "
+                             "(skips the normal experiment run)")
+    parser.add_argument("--matrix", default=None, metavar="MS,MS,...",
+                        help="comma-separated total durations in simulated "
+                             "ms for --from-snapshot (each must lie beyond "
+                             "the snapshot point)")
+    parser.add_argument("--verify-cold", action="store_true",
+                        help="with --from-snapshot: also run every matrix "
+                             "entry cold from construction and require the "
+                             "DET001 dispatch digests to match bit-for-bit")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -111,6 +142,27 @@ def main(argv: List[str] = None) -> int:
                       args.obs_dir):
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+
+    if args.snapshot_at is not None or args.from_snapshot is not None:
+        from .snapshot_cli import run_matrix, snapshot_boot
+        if args.snapshot_at is not None and args.from_snapshot is not None:
+            parser.error("--snapshot-at and --from-snapshot are mutually "
+                         "exclusive")
+        if args.snapshot_at is not None:
+            if args.snapshot_out is None:
+                parser.error("--snapshot-at requires --snapshot-out")
+            return snapshot_boot(args.snapshot_out, args.snapshot_at,
+                                 args.snapshot_kind, args.snapshot_cores,
+                                 args.scale, args.snapshot_quantum_us,
+                                 args.snapshot_parallel, args.json)
+        if args.matrix is None:
+            parser.error("--from-snapshot requires --matrix")
+        matrix = [float(entry) for entry in args.matrix.split(",") if entry]
+        if len(matrix) < 1:
+            parser.error("--matrix needs at least one duration")
+        failures = run_matrix(args.from_snapshot, matrix, args.verify_cold,
+                              args.json)
+        return 1 if failures else 0
 
     #: attribution summaries are collected whenever either obs flag is on
     want_obs = args.obs_dir is not None or args.history is not None

@@ -58,6 +58,48 @@ class IssCpu(Processor):
     def on_interrupt(self, number: int, level: bool) -> None:
         self.executor.set_irq(level)
 
+    # -- snapshot support -----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["iss"] = {
+            "num_mmio": self.num_mmio,
+            "num_wfi": self.num_wfi,
+            "num_bus_errors": self.num_bus_errors,
+            "instructions_retired": self.instructions_retired,
+            "num_user_breakpoints": self.num_user_breakpoints,
+            "debug_break_enabled": self.debug_break_enabled,
+            "executor": self.executor.snapshot_state(),
+            # The cost model samples *deltas* against its last RunStats;
+            # dropping it would re-bill the entire pre-snapshot history on
+            # the first post-resume charge.
+            "cost_model": {
+                "last": list(self.cost_model._last),
+                "total_ns": self.cost_model.total_ns,
+                "translation_ns": self.cost_model.translation_ns,
+                "dispatch_ns": self.cost_model.dispatch_ns,
+                "mmu_ns": self.cost_model.mmu_ns,
+            },
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        iss = state["iss"]
+        self.num_mmio = iss["num_mmio"]
+        self.num_wfi = iss["num_wfi"]
+        self.num_bus_errors = iss["num_bus_errors"]
+        self.instructions_retired = iss["instructions_retired"]
+        self.num_user_breakpoints = iss["num_user_breakpoints"]
+        self.debug_break_enabled = bool(iss["debug_break_enabled"])
+        self.executor.restore_state(iss["executor"])
+        from ..iss.executor import RunStats
+        cost = iss["cost_model"]
+        self.cost_model._last = RunStats(*cost["last"])
+        self.cost_model.total_ns = cost["total_ns"]
+        self.cost_model.translation_ns = cost["translation_ns"]
+        self.cost_model.dispatch_ns = cost["dispatch_ns"]
+        self.cost_model.mmu_ns = cost["mmu_ns"]
+
     def simulate(self, cycles: int) -> SimulateResult:
         info = self.executor.run(cycles)
         self.instructions_retired += info.instructions

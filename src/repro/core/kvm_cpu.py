@@ -77,6 +77,35 @@ class KvmCpu(Processor):
         #: an attached debugger instead of being skipped over
         self.debug_break_enabled = False
 
+    # -- snapshot support -----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["kvm"] = {
+            "host_now_ns": self.host_now_ns,
+            "num_mmio": self.num_mmio,
+            "num_wfi_suspends": self.num_wfi_suspends,
+            "num_bus_errors": self.num_bus_errors,
+            "num_user_breakpoints": self.num_user_breakpoints,
+            "num_emulations": self.num_emulations,
+            "debug_break_enabled": self.debug_break_enabled,
+            "kick_id": self.kick_guard.m_kickid,
+            "vcpu": self.vcpu.snapshot_state(),
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        kvm = state["kvm"]
+        self.host_now_ns = kvm["host_now_ns"]
+        self.num_mmio = kvm["num_mmio"]
+        self.num_wfi_suspends = kvm["num_wfi_suspends"]
+        self.num_bus_errors = kvm["num_bus_errors"]
+        self.num_user_breakpoints = kvm["num_user_breakpoints"]
+        self.num_emulations = kvm["num_emulations"]
+        self.debug_break_enabled = bool(kvm["debug_break_enabled"])
+        self.kick_guard.m_kickid = kvm["kick_id"]
+        self.vcpu.restore_state(kvm["vcpu"])
+
     # -- interrupt plumbing ---------------------------------------------------
     def on_interrupt(self, number: int, level: bool) -> None:
         """Forward the GIC's nIRQ level into the vcpu (KVM_IRQ_LINE)."""

@@ -127,6 +127,58 @@ class Watchdog:
     def pending(self, core_id: int) -> int:
         return sum(1 for entry in self._timelines.get(core_id, []) if not entry.cancelled)
 
+    # -- snapshot support -------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable watchdog state.
+
+        Live entries are emitted per core in canonical (deadline, seq)
+        order with the seq replaced by its rank — seqs only break ties, so
+        fresh ones assigned in the same order on restore preserve firing
+        order while keeping snapshot bytes independent of how many entries
+        ever existed.  Cancelled entries are dropped.  The callback is not
+        serialized: every live entry was armed through a kick guard, and
+        :meth:`restore_state` re-targets it at the restored guard by core.
+        """
+        timelines = {}
+        for core_id in sorted(self._timelines):
+            live = sorted((entry for entry in self._timelines[core_id]
+                           if not entry.cancelled),
+                          key=lambda entry: (entry.deadline_ns, entry.seq))
+            if live:
+                timelines[str(core_id)] = [
+                    {"deadline_ns": entry.deadline_ns,
+                     "kick_id": entry.kick_id,
+                     "budget_ns": entry.budget_ns}
+                    for entry in live
+                ]
+        return {
+            "timelines": timelines,
+            "num_scheduled": self.num_scheduled,
+            "num_fired": self.num_fired,
+            "num_cancelled": self.num_cancelled,
+        }
+
+    def restore_state(self, state: dict, kick_guards: Dict[int, "KickGuard"]) -> None:
+        """Rebuild timelines from a snapshot, kicking the per-core guards."""
+        self._timelines = {}
+        self._seq = itertools.count()
+        for core_str, entries in state["timelines"].items():
+            core_id = int(core_str)
+            guard = kick_guards[core_id]
+            timeline: List[WatchdogEntry] = []
+            for data in entries:
+                kick_id = data["kick_id"]
+                entry = WatchdogEntry(data["deadline_ns"], next(self._seq),
+                                      (lambda g=guard, k=kick_id: g.kick(k)),
+                                      core_id=core_id, kick_id=kick_id,
+                                      budget_ns=data["budget_ns"])
+                timeline.append(entry)
+            heapq.heapify(timeline)
+            self._timelines[core_id] = timeline
+        self.num_scheduled = state["num_scheduled"]
+        self.num_fired = state["num_fired"]
+        self.num_cancelled = state["num_cancelled"]
+
 
 class KickGuard:
     """The per-core kick-id filter from Listing 1.

@@ -262,6 +262,53 @@ class MemoryPort:
         self._observe("debug", moved == len(data))
         return moved
 
+    # -- snapshot support -----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable fabric-port state (repro.snapshot, DESIGN §16).
+
+        DMI state is behaviour-affecting: a promoted page answers with the
+        region's latency instead of a transport, and the promotion counters
+        decide *when* that flip happens — so all of it serializes.  Granted
+        regions are stored as ``[start, end]`` spans; :meth:`restore_state`
+        re-probes the target so the fresh region points at the restored
+        platform's memory.  The payload pool is not serialized (pure
+        allocation reuse, no behavioural state).
+        """
+        return {
+            "promotion_counts": {str(page): count for page, count
+                                 in sorted(self._promotion_counts.items())},
+            "no_dmi_pages": sorted(self._no_dmi_pages),
+            "regions": sorted([region.start, region.end]
+                              for region in self.dmi._regions),
+            "num_reads": self.num_reads,
+            "num_writes": self.num_writes,
+            "num_dmi_hits": self.num_dmi_hits,
+            "num_transports": self.num_transports,
+            "num_debug_accesses": self.num_debug_accesses,
+            "num_promotions": self.num_promotions,
+            "num_probes_denied": self.num_probes_denied,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._promotion_counts = {int(page): count for page, count
+                                  in state["promotion_counts"].items()}
+        self._no_dmi_pages = set(state["no_dmi_pages"])
+        for start, end in state["regions"]:
+            if self.dmi.lookup(start, 1, write=False) is None:
+                region = self.request_dmi(start)
+                if region is None or region.end < end:
+                    raise RuntimeError(
+                        f"{self.name}: target no longer grants DMI for "
+                        f"[0x{start:x}, 0x{end:x}]")
+        # Counters last: request_dmi above must not perturb them.
+        self.num_reads = state["num_reads"]
+        self.num_writes = state["num_writes"]
+        self.num_dmi_hits = state["num_dmi_hits"]
+        self.num_transports = state["num_transports"]
+        self.num_debug_accesses = state["num_debug_accesses"]
+        self.num_promotions = state["num_promotions"]
+        self.num_probes_denied = state["num_probes_denied"]
+
     # -- introspection -------------------------------------------------------------
     def stats(self) -> dict:
         return {

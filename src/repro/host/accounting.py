@@ -130,6 +130,32 @@ class HostLedger:
         self._windows.clear()
         self._categories.clear()
 
+    # -- snapshot support ---------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable ledger content in *insertion* order.
+
+        Unlike set-typed device state, insertion order here is semantic:
+        :meth:`wall_time_ns` folds windows in first-billing order, so the
+        snapshot must preserve it rather than sort (it is deterministic for
+        a deterministic run, which is all canonical bytes require).
+        """
+        return {
+            "windows": [[window, [[lane, ns] for lane, ns in lanes.items()]]
+                        for window, lanes in self._windows.items()],
+            "categories": [[category, ns] for category, ns
+                           in self._categories.items()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._windows.clear()
+        for window, lanes in state["windows"]:
+            bucket = self._windows[window]
+            for lane, ns in lanes:
+                bucket[lane] = ns
+        self._categories.clear()
+        for category, ns in state["categories"]:
+            self._categories[category] = ns
+
     def __repr__(self) -> str:
         return (
             f"HostLedger(windows={len(self._windows)}, parallel={self.parallel}, "

@@ -66,6 +66,15 @@ class GlobalMonitor:
         for core in doomed:
             del self._marks[core]
 
+    # -- snapshot support ------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"marks": {str(core): address for core, address
+                          in sorted(self._marks.items())}}
+
+    def restore_state(self, state: dict) -> None:
+        self._marks = {int(core): address for core, address
+                       in state["marks"].items()}
+
 
 class _Exit(Exception):
     """Internal control-flow signal carrying a pending ExitReason."""
@@ -130,6 +139,82 @@ class Interpreter:
             tlb_misses=self.mmu.tlb.misses,
             exceptions=self.exceptions,
         )
+
+    # -- snapshot support ---------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Full serializable executor state (repro.snapshot).
+
+        Everything that influences future behaviour or reported statistics
+        is captured, including the TLB contents (dropping them would change
+        post-resume miss counts and thus DBT cost attribution).  The decode
+        cache is *not* captured: every hit re-validates the cached word
+        against memory, so a cold cache provably rebuilds to identical
+        decisions.  Sets are emitted sorted for deterministic bytes.
+        """
+        request = self._pending_mmio
+        return {
+            "type": "interpreter",
+            "cpu": self.state.snapshot(),
+            "exclusive_addr": self.state.exclusive_addr,
+            "exclusive_valid": self.state.exclusive_valid,
+            "halted": self.state.halted,
+            "breakpoints": sorted(self.breakpoints),
+            "unsupported_ops": sorted(op.value for op in self.unsupported_ops),
+            "irq_line": self.irq_line,
+            "pending_mmio": None if request is None else {
+                "address": request.address,
+                "size": request.size,
+                "is_write": request.is_write,
+                "data": None if request.data is None else request.data.hex(),
+                "register": request.register,
+            },
+            "skip_breakpoint_pc": self._skip_breakpoint_pc,
+            "fault_streak": self._fault_streak,
+            "memory_ops": self.memory_ops,
+            "blocks_entered": self.blocks_entered,
+            "new_blocks": self.new_blocks,
+            "exceptions": self.exceptions,
+            "known_blocks": sorted(self._known_blocks),
+            "block_start": self._block_start,
+            "tlb": {
+                "entries": [[vpage, el, ppage, flags] for (vpage, el), (ppage, flags)
+                            in sorted(self.mmu.tlb._entries.items())],
+                "hits": self.mmu.tlb.hits,
+                "misses": self.mmu.tlb.misses,
+            },
+            "mmu_walks": self.mmu.walks,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from ..arch.isa import Op as _Op
+        self.state.restore(state["cpu"])
+        self.state.exclusive_addr = state["exclusive_addr"]
+        self.state.exclusive_valid = bool(state["exclusive_valid"])
+        self.state.halted = bool(state["halted"])
+        self.breakpoints = set(state["breakpoints"])
+        self.unsupported_ops = {_Op(value) for value in state["unsupported_ops"]}
+        self.irq_line = bool(state["irq_line"])
+        pending = state["pending_mmio"]
+        self._pending_mmio = None if pending is None else MmioRequest(
+            pending["address"], pending["size"], pending["is_write"],
+            None if pending["data"] is None else bytes.fromhex(pending["data"]),
+            pending["register"],
+        )
+        self._skip_breakpoint_pc = state["skip_breakpoint_pc"]
+        self._fault_streak = state["fault_streak"]
+        self.memory_ops = state["memory_ops"]
+        self.blocks_entered = state["blocks_entered"]
+        self.new_blocks = state["new_blocks"]
+        self.exceptions = state["exceptions"]
+        self._known_blocks = set(state["known_blocks"])
+        self._block_start = bool(state["block_start"])
+        self._decode_cache.clear()
+        tlb = self.mmu.tlb
+        tlb._entries = {(vpage, el): (ppage, flags)
+                        for vpage, el, ppage, flags in state["tlb"]["entries"]}
+        tlb.hits = state["tlb"]["hits"]
+        tlb.misses = state["tlb"]["misses"]
+        self.mmu.walks = state["mmu_walks"]
 
     # -- main run loop ---------------------------------------------------------------
     def run(self, max_instructions: int) -> ExitInfo:

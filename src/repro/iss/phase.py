@@ -145,12 +145,42 @@ class PhaseContext:
     code_base: int = 0x4000
     irq_protocol: Optional[IrqProtocol] = None
     shared: dict = field(default_factory=dict)
+    #: repro.snapshot plumbing.  While the executor steps the program
+    #: generator it journals every RAM access the *generator* makes (reads
+    #: through these helpers decide its control flow); restore re-drives a
+    #: fresh generator with ``_replay`` answering those reads from the
+    #: journal, because guest RAM has already been restored to its final
+    #: state and historical reads must see historical values.
+    _journal: Optional[list] = field(default=None, repr=False)
+    _replay: Optional[object] = field(default=None, repr=False)
+    _in_generator: bool = field(default=False, repr=False)
 
     # -- RAM helpers for generator-side control flow ------------------------
     def read_u64(self, address: int) -> int:
-        return int.from_bytes(self.memory.read(address, 8), "little")
+        if self._replay is not None and self._in_generator:
+            entry = self._replay.popleft() if self._replay else None
+            if entry is None or entry[0] != "read" or entry[1] != address:
+                raise RuntimeError(
+                    f"phase replay diverged: expected journaled read of "
+                    f"0x{address:x}, journal has {entry!r}"
+                )
+            return entry[2]
+        value = int.from_bytes(self.memory.read(address, 8), "little")
+        if self._journal is not None and self._in_generator:
+            self._journal.append(["read", address, value])
+        return value
 
     def write_u64(self, address: int, value: int) -> None:
+        if self._replay is not None and self._in_generator:
+            entry = self._replay.popleft() if self._replay else None
+            if entry is None or entry[0] != "write" or entry[1] != address:
+                raise RuntimeError(
+                    f"phase replay diverged: expected journaled write of "
+                    f"0x{address:x}, journal has {entry!r}"
+                )
+            return   # RAM already holds the final state; do not re-apply
+        if self._journal is not None and self._in_generator:
+            self._journal.append(["write", address, value & (2**64 - 1)])
         self.memory.write(address, (value & (2**64 - 1)).to_bytes(8, "little"))
 
     def flag_set(self, address: int, expected: int = 1, ge: bool = False) -> bool:
@@ -191,6 +221,12 @@ class PhaseExecutor:
     def __init__(self, program: PhaseProgram, ctx: PhaseContext):
         self.ctx = ctx
         self._generator = program(ctx)
+        #: input journal for repro.snapshot: one ["send", value] entry per
+        #: generator advance, interleaved with the ["read"/"write", ...]
+        #: entries the generator produced while handling it.  The journal
+        #: plus the program function fully determine the generator's state.
+        self._journal: list = []
+        ctx._journal = self._journal
         self._current: Optional[Phase] = None
         self._compute_left = 0
         self._send_value = None
@@ -238,6 +274,143 @@ class PhaseExecutor:
     @property
     def mmio_pending(self) -> bool:
         return self._pending_mmio is not None
+
+    # -- snapshot support ----------------------------------------------------
+    @staticmethod
+    def _mmio_to_dict(request: Optional[MmioRequest]) -> Optional[dict]:
+        if request is None:
+            return None
+        return {
+            "address": request.address,
+            "size": request.size,
+            "is_write": request.is_write,
+            "data": None if request.data is None else request.data.hex(),
+            "register": request.register,
+        }
+
+    @staticmethod
+    def _mmio_from_dict(data: Optional[dict]) -> Optional[MmioRequest]:
+        if data is None:
+            return None
+        return MmioRequest(
+            data["address"], data["size"], data["is_write"],
+            None if data["data"] is None else bytes.fromhex(data["data"]),
+            data["register"],
+        )
+
+    def snapshot_state(self) -> dict:
+        """Serializable executor state (repro.snapshot).
+
+        The generator itself cannot be pickled; instead the input journal
+        is stored and :meth:`restore_state` re-drives a *fresh* generator
+        of the same program through it.  All scalar progress state is then
+        installed as data (the replay recomputes counters, but the live
+        values are authoritative).  ``ctx.shared`` must be JSON-encodable.
+        """
+        handler = self._handler
+        return {
+            "type": "phase",
+            "journal": [list(entry) for entry in self._journal],
+            "shared": sorted(self.ctx.shared.items(),
+                             key=lambda item: repr(item[0])),
+            "compute_left": self._compute_left,
+            "send_value": self._send_value,
+            "finished": self._finished,
+            "halt_code": self._halt_code,
+            "irq_line": self.irq_line,
+            "breakpoints": sorted(self.breakpoints),
+            "skip_breakpoint_once": self._skip_breakpoint_once,
+            "handler": None if handler is None else {
+                "stage": handler.stage,
+                "ack_id": handler.ack_id,
+                "work_left": handler.work_left,
+                "acks": [{"address": ack.address, "size": ack.size,
+                          "is_write": ack.is_write, "value": ack.value}
+                         for ack in handler.acks],
+            },
+            "wfi_completed": self._wfi_completed,
+            "pending_mmio": self._mmio_to_dict(self._pending_mmio),
+            "pending_mmio_sink": self._pending_mmio_sink,
+            "pc": self.pc,
+            "instructions": self.instructions,
+            "memory_ops": self.memory_ops,
+            "blocks_entered": self.blocks_entered,
+            "new_blocks": self.new_blocks,
+            "tlb_misses": self.tlb_misses,
+            "exceptions": self.exceptions,
+            "irqs_taken": self.irqs_taken,
+            "translated_keys": sorted(self._translated_keys),
+            "anonymous_keys": self._anonymous_keys,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Replay the journal into this (freshly constructed) executor.
+
+        Must be called on an executor whose generator has never been
+        advanced and whose program function matches the snapshotted one;
+        divergence between journal and program raises RuntimeError.
+        """
+        from collections import deque
+        if state["type"] != "phase":
+            raise RuntimeError(f"executor type mismatch: {state['type']!r}")
+        replay = deque(tuple(entry) for entry in state["journal"])
+        self.ctx._replay = replay
+        self.ctx._journal = None
+        try:
+            while replay:
+                entry = replay.popleft()
+                if entry[0] != "send":
+                    raise RuntimeError(
+                        f"phase replay diverged: generator consumed fewer "
+                        f"inputs than journaled (next: {entry!r})"
+                    )
+                self.ctx._in_generator = True
+                try:
+                    self._current = self._generator.send(entry[1])
+                except StopIteration:
+                    self._current = None
+                finally:
+                    self.ctx._in_generator = False
+        finally:
+            self.ctx._replay = None
+        # Journal continues to grow from the full history so a snapshot of
+        # a resumed run is itself restorable.
+        self._journal = [list(entry) for entry in state["journal"]]
+        self.ctx._journal = self._journal
+        self.ctx.shared.clear()
+        self.ctx.shared.update((key, value) for key, value in state["shared"])
+        self._compute_left = state["compute_left"]
+        self._send_value = state["send_value"]
+        self._finished = bool(state["finished"])
+        self._halt_code = state["halt_code"]
+        self.irq_line = bool(state["irq_line"])
+        self.breakpoints = set(state["breakpoints"])
+        self._skip_breakpoint_once = bool(state["skip_breakpoint_once"])
+        handler = state["handler"]
+        if handler is None:
+            self._handler = None
+        else:
+            assert self.ctx.irq_protocol is not None
+            restored = _HandlerState(self.ctx.irq_protocol)
+            restored.stage = handler["stage"]
+            restored.ack_id = handler["ack_id"]
+            restored.work_left = handler["work_left"]
+            restored.acks = [Mmio(ack["address"], ack["size"], ack["is_write"],
+                                  ack["value"]) for ack in handler["acks"]]
+            self._handler = restored
+        self._wfi_completed = bool(state["wfi_completed"])
+        self._pending_mmio = self._mmio_from_dict(state["pending_mmio"])
+        self._pending_mmio_sink = state["pending_mmio_sink"]
+        self.pc = state["pc"]
+        self.instructions = state["instructions"]
+        self.memory_ops = state["memory_ops"]
+        self.blocks_entered = state["blocks_entered"]
+        self.new_blocks = state["new_blocks"]
+        self.tlb_misses = state["tlb_misses"]
+        self.exceptions = state["exceptions"]
+        self.irqs_taken = state["irqs_taken"]
+        self._translated_keys = set(state["translated_keys"])
+        self._anonymous_keys = state["anonymous_keys"]
 
     def run(self, max_instructions: int) -> ExitInfo:
         if self._pending_mmio is not None:
@@ -307,12 +480,17 @@ class PhaseExecutor:
         return self._current
 
     def _advance_program(self) -> None:
+        value, self._send_value = self._send_value, None
+        if self.ctx._replay is None:
+            self._journal.append(["send", value])
+        self.ctx._in_generator = True
         try:
-            value, self._send_value = self._send_value, None
             self._current = self._generator.send(value)
         except StopIteration:
             self._current = None
             return
+        finally:
+            self.ctx._in_generator = False
         if isinstance(self._current, Compute):
             self._compute_left = self._current.instructions
             self._charge_translation(self._current)

@@ -157,6 +157,37 @@ class Vcpu:
         self.num_wfi_blocks = 0
         self.num_intr_exits = 0
 
+    # -- snapshot support --------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "immediate_exit": self.immediate_exit,
+            "irq_level": self.irq_level,
+            "debug_breakpoints": sorted(self._debug_breakpoints),
+            "total_instructions": self.total_instructions,
+            "num_runs": self.num_runs,
+            "num_mmio_exits": self.num_mmio_exits,
+            "num_debug_exits": self.num_debug_exits,
+            "num_emulation_exits": self.num_emulation_exits,
+            "num_wfi_blocks": self.num_wfi_blocks,
+            "num_intr_exits": self.num_intr_exits,
+            "executor": self.executor.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.immediate_exit = bool(state["immediate_exit"])
+        self.irq_level = bool(state["irq_level"])
+        # Re-route the breakpoint set through the executor so its own
+        # breakpoint bookkeeping stays consistent.
+        self.set_guest_debug(state["debug_breakpoints"])
+        self.total_instructions = state["total_instructions"]
+        self.num_runs = state["num_runs"]
+        self.num_mmio_exits = state["num_mmio_exits"]
+        self.num_debug_exits = state["num_debug_exits"]
+        self.num_emulation_exits = state["num_emulation_exits"]
+        self.num_wfi_blocks = state["num_wfi_blocks"]
+        self.num_intr_exits = state["num_intr_exits"]
+        self.executor.restore_state(state["executor"])
+
     # -- control interfaces ------------------------------------------------
     def kick(self) -> None:
         """Deliver SIGUSR1 (the watchdog's kick): the next/current run exits."""

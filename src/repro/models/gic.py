@@ -18,7 +18,7 @@ any enabled, pending, un-acknowledged interrupt is routed to that core.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..systemc.module import Module
 from ..systemc.signal import IrqLine
@@ -77,6 +77,11 @@ class Gic400(Component):
         self.active: List[Set[int]] = [set() for _ in range(num_cpus)]
         self.spi_levels: Dict[int, bool] = {}
         self.spi_targets: Dict[int, int] = {}     # irq -> cpu bit mask
+        # Input-line registries (the wiring callbacks hold the only other
+        # reference); repro.snapshot restores their latched levels so the
+        # IrqLine level dedupe stays consistent with the latched GIC state.
+        self._spi_lines: Dict[int, IrqLine] = {}
+        self._ppi_lines: Dict[Tuple[int, int], IrqLine] = {}
         self.irq_out: List[IrqLine] = [
             IrqLine(f"{self.name}.irq_out{cpu}", self.kernel) for cpu in range(num_cpus)
         ]
@@ -94,8 +99,11 @@ class Gic400(Component):
         """Level-sensitive SPI input line (irq id >= 32)."""
         if irq < 32 or irq >= self.MAX_IRQS:
             raise ValueError(f"SPI id must be in [32, {self.MAX_IRQS}), got {irq}")
-        line = IrqLine(f"{self.name}.spi{irq}", self.kernel)
-        line.connect(lambda level, irq=irq: self._spi_changed(irq, level))
+        line = self._spi_lines.get(irq)
+        if line is None:
+            line = IrqLine(f"{self.name}.spi{irq}", self.kernel)
+            line.connect(lambda level, irq=irq: self._spi_changed(irq, level))
+            self._spi_lines[irq] = line
         self.spi_targets.setdefault(irq, 0x1)     # default target: cpu 0
         return line
 
@@ -103,8 +111,11 @@ class Gic400(Component):
         """Per-core private peripheral interrupt input (16 <= id < 32)."""
         if not 16 <= irq < 32:
             raise ValueError(f"PPI id must be in [16, 32), got {irq}")
-        line = IrqLine(f"{self.name}.cpu{cpu}.ppi{irq}", self.kernel)
-        line.connect(lambda level, cpu=cpu, irq=irq: self._ppi_changed(cpu, irq, level))
+        line = self._ppi_lines.get((cpu, irq))
+        if line is None:
+            line = IrqLine(f"{self.name}.cpu{cpu}.ppi{irq}", self.kernel)
+            line.connect(lambda level, cpu=cpu, irq=irq: self._ppi_changed(cpu, irq, level))
+            self._ppi_lines[(cpu, irq)] = line
         return line
 
     def _spi_changed(self, irq: int, level: bool) -> None:
@@ -174,6 +185,66 @@ class Gic400(Component):
         if irq >= 32 and self.spi_levels.get(irq):
             self.pending_spi.add(irq)
         self._update_lines()
+
+    # -- snapshot support ---------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable distributor + CPU-interface state.
+
+        Every set is emitted *sorted*: pending/enabled/active sets are
+        mutated in guest-dependent order, and Python set iteration order
+        depends on that insertion history — canonical ordering is what
+        makes snapshot bytes deterministic (see DESIGN §16).
+        """
+        return {
+            "dist_enabled": self.dist_enabled,
+            "cpu_enabled": list(self.cpu_enabled),
+            "priority_mask": list(self.priority_mask),
+            "enabled": sorted(self.enabled),
+            "pending_banked": [sorted(bank) for bank in self.pending_banked],
+            "pending_spi": sorted(self.pending_spi),
+            "active": [sorted(bank) for bank in self.active],
+            "spi_levels": {str(irq): bool(level) for irq, level
+                           in sorted(self.spi_levels.items())},
+            "spi_targets": {str(irq): mask for irq, mask
+                            in sorted(self.spi_targets.items())},
+            "irq_out_levels": [line.level for line in self.irq_out],
+            "spi_line_levels": {str(irq): self._spi_lines[irq].level
+                                for irq in sorted(self._spi_lines)},
+            "ppi_line_levels": {f"{cpu}:{irq}": self._ppi_lines[(cpu, irq)].level
+                                for cpu, irq in sorted(self._ppi_lines)},
+            "num_sgis_sent": self.num_sgis_sent,
+            "num_acks": self.num_acks,
+            "num_eois": self.num_eois,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Install a :meth:`snapshot_state` dict (no line-change callbacks).
+
+        Output line levels are poked directly; downstream consumers (the
+        CPU models' latched levels) restore their own state, so replaying
+        the connect-callback chain here would double-apply it.
+        """
+        self.dist_enabled = bool(state["dist_enabled"])
+        self.cpu_enabled = [bool(flag) for flag in state["cpu_enabled"]]
+        self.priority_mask = list(state["priority_mask"])
+        self.enabled = set(state["enabled"])
+        self.pending_banked = [set(bank) for bank in state["pending_banked"]]
+        self.pending_spi = set(state["pending_spi"])
+        self.active = [set(bank) for bank in state["active"]]
+        self.spi_levels = {int(irq): bool(level)
+                           for irq, level in state["spi_levels"].items()}
+        self.spi_targets = {int(irq): mask
+                            for irq, mask in state["spi_targets"].items()}
+        for line, level in zip(self.irq_out, state["irq_out_levels"]):
+            line._level = bool(level)
+        for irq, level in state.get("spi_line_levels", {}).items():
+            self._spi_lines[int(irq)]._level = bool(level)
+        for key, level in state.get("ppi_line_levels", {}).items():
+            cpu, _, irq = key.partition(":")
+            self._ppi_lines[(int(cpu), int(irq))]._level = bool(level)
+        self.num_sgis_sent = state["num_sgis_sent"]
+        self.num_acks = state["num_acks"]
+        self.num_eois = state["num_eois"]
 
     # -- TLM transport -----------------------------------------------------------------
     def _dist_transport(self, payload: GenericPayload, delay: SimTime) -> SimTime:

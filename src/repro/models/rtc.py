@@ -85,6 +85,28 @@ class Pl031Rtc(Peripheral):
             self.raw_status = 0
         self._update_irq()
 
+    # -- snapshot support -------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable RTC state (the pending match entry, if any, is
+        rebuilt via the kernel-heap descriptor path in repro.snapshot)."""
+        return {
+            "load_offset": self._load_offset,
+            "match_value": self.match_value,
+            "enabled": self.enabled,
+            "int_mask": self.int_mask,
+            "raw_status": self.raw_status,
+            "irq_level": self.irq.level,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._load_offset = state["load_offset"]
+        self.match_value = state["match_value"]
+        self.enabled = bool(state["enabled"])
+        self.int_mask = state["int_mask"]
+        self.raw_status = state["raw_status"]
+        self._match_entry = None
+        self.irq._level = bool(state["irq_level"])
+
     # -- alarm ------------------------------------------------------------------
     def _schedule_match(self) -> None:
         if self._match_entry is not None:

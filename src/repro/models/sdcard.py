@@ -65,6 +65,38 @@ class SdCard:
         if not 0 <= lba < self.capacity_blocks:
             raise SdCardError(f"LBA {lba} out of range (card has {self.capacity_blocks} blocks)")
 
+    # -- snapshot support -------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable card state; the image is stored sparsely (non-zero
+        blocks only, keyed by LBA) since cards are mostly blank."""
+        blocks = {}
+        zero = bytes(BLOCK_SIZE)
+        for lba in range(self.capacity_blocks):
+            raw = bytes(self.image[lba * BLOCK_SIZE:(lba + 1) * BLOCK_SIZE])
+            if raw != zero:
+                blocks[str(lba)] = raw.hex()
+        return {
+            "capacity_blocks": self.capacity_blocks,
+            "rca": self.rca,
+            "state": self.state,
+            "app_cmd": self.app_cmd,
+            "num_reads": self.num_reads,
+            "num_writes": self.num_writes,
+            "blocks": blocks,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.capacity_blocks = state["capacity_blocks"]
+        self.rca = state["rca"]
+        self.state = state["state"]
+        self.app_cmd = bool(state["app_cmd"])
+        self.num_reads = state["num_reads"]
+        self.num_writes = state["num_writes"]
+        self.image = bytearray(self.capacity_blocks * BLOCK_SIZE)
+        for lba_str, raw in state["blocks"].items():
+            lba = int(lba_str)
+            self.image[lba * BLOCK_SIZE:(lba + 1) * BLOCK_SIZE] = bytes.fromhex(raw)
+
     # -- command interface (used by the SDHCI model) ------------------------------
     def execute(self, command: int, argument: int) -> int:
         """Process one SD command; returns the 32-bit R1/R3/R6-style response."""

@@ -82,6 +82,39 @@ class Sdhci(Peripheral):
         self.add_register("int_enable", 0x34, on_read=lambda: self.int_enable,
                           on_write=self._write_int_enable)
 
+    # -- snapshot support --------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "block_size": self.block_size,
+            "block_count": self.block_count,
+            "argument": self.argument,
+            "transfer_mode": self.transfer_mode,
+            "int_status": self.int_status,
+            "int_enable": self.int_enable,
+            "buffer": bytes(self._buffer).hex(),
+            "buffer_pos": self._buffer_pos,
+            "buffer_is_read": self._buffer_is_read,
+            "write_lba": self._write_lba,
+            "num_commands": self.num_commands,
+            "irq_level": self.irq.level,
+            "card": self.card.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.block_size = state["block_size"]
+        self.block_count = state["block_count"]
+        self.argument = state["argument"]
+        self.transfer_mode = state["transfer_mode"]
+        self.int_status = state["int_status"]
+        self.int_enable = state["int_enable"]
+        self._buffer = bytearray.fromhex(state["buffer"])
+        self._buffer_pos = state["buffer_pos"]
+        self._buffer_is_read = bool(state["buffer_is_read"])
+        self._write_lba = state["write_lba"]
+        self.num_commands = state["num_commands"]
+        self.irq._level = bool(state["irq_level"])
+        self.card.restore_state(state["card"])
+
     # -- register behaviour ------------------------------------------------------
     def _write_block_size(self, value: int) -> None:
         self.block_size = value & 0xFFF

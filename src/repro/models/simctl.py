@@ -59,6 +59,34 @@ class SimControl(Peripheral):
         self.add_register("panic", 0x20, size=8, access=Access.WRITE,
                           on_write=self._write_panic)
 
+    # -- snapshot support ---------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable control state.  The ``on_*`` callbacks are harness
+        wiring, not guest state — the restoring platform re-installs its
+        own (RPR012 flags exactly this class of attribute)."""
+        return {
+            "shutdown_requested": self.shutdown_requested,
+            "exit_code": self.exit_code,
+            "panic_requested": self.panic_requested,
+            "panic_code": self.panic_code,
+            "stop_reason": self.stop_reason,
+            "boot_done_at_ps": (None if self.boot_done_at is None
+                                else self.boot_done_at.picoseconds),
+            "checkpoints": [[number, when.picoseconds]
+                            for number, when in self.checkpoints],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.shutdown_requested = bool(state["shutdown_requested"])
+        self.exit_code = state["exit_code"]
+        self.panic_requested = bool(state["panic_requested"])
+        self.panic_code = state["panic_code"]
+        self.stop_reason = state["stop_reason"]
+        self.boot_done_at = (None if state["boot_done_at_ps"] is None
+                             else SimTime(state["boot_done_at_ps"]))
+        self.checkpoints = [(number, SimTime(ps))
+                            for number, ps in state["checkpoints"]]
+
     def _write_shutdown(self, value: int) -> None:
         self.shutdown_requested = True
         self.exit_code = value

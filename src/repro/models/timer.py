@@ -140,6 +140,48 @@ class MmTimer(Peripheral):
     def irq_line(self, channel: int) -> IrqLine:
         return self.channels[channel].irq
 
+    # -- snapshot support ---------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable timer state (counters + per-channel countdowns).
+
+        A channel's pending ``_expire`` heap entry is *not* captured here —
+        it lives in the kernel's timed heap, which repro.snapshot serializes
+        and rebuilds wholesale; ``_armed_at`` (absolute picoseconds) is
+        enough to keep VALUE reads consistent after restore.
+        """
+        return {
+            "num_expirations": self.num_expirations,
+            "channels": [
+                {
+                    "ctrl": channel.ctrl,
+                    "interval": channel.interval,
+                    "expired": channel.expired,
+                    "armed_at_ps": (None if channel._armed_at is None
+                                    else channel._armed_at.picoseconds),
+                    "irq_level": channel.irq.level,
+                }
+                for channel in self.channels
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Install a :meth:`snapshot_state` dict without re-arming channels.
+
+        Pending expirations are reattached by repro.snapshot when it
+        rebuilds the kernel heap (the rebuilt entry is handed back via
+        ``channel._entry``); IRQ levels are poked, not written, so the GIC —
+        restored separately — does not see duplicate edges.
+        """
+        self.num_expirations = state["num_expirations"]
+        for channel, data in zip(self.channels, state["channels"]):
+            channel.ctrl = data["ctrl"]
+            channel.interval = data["interval"]
+            channel.expired = bool(data["expired"])
+            channel._armed_at = (None if data["armed_at_ps"] is None
+                                 else SimTime(data["armed_at_ps"]))
+            channel._entry = None
+            channel.irq._level = bool(data["irq_level"])
+
     def _read_counter(self) -> int:
         return self.time_to_cycles(self.now)
 

@@ -92,6 +92,29 @@ class Pl011Uart(Peripheral):
     def tx_text(self) -> str:
         return self.tx_log.decode("utf-8", errors="replace")
 
+    # -- snapshot support -----------------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "tx_log": self.tx_log.hex(),
+            "rx_fifo": list(self._rx_fifo),
+            "control": self.control,
+            "int_mask": self.int_mask,
+            "raw_status": self.raw_status,
+            "ibrd": self.ibrd,
+            "fbrd": self.fbrd,
+            "irq_level": self.irq.level,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.tx_log = bytearray.fromhex(state["tx_log"])
+        self._rx_fifo = deque(state["rx_fifo"])
+        self.control = state["control"]
+        self.int_mask = state["int_mask"]
+        self.raw_status = state["raw_status"]
+        self.ibrd = state["ibrd"]
+        self.fbrd = state["fbrd"]
+        self.irq._level = bool(state["irq_level"])
+
     # -- register behaviour --------------------------------------------------------
     def _write_dr(self, value: int) -> None:
         byte = value & 0xFF

@@ -1,0 +1,74 @@
+"""Name registries connecting serialized state to live objects.
+
+The kernel's timed heap holds *callables* — process wakeups, pending event
+notifications, bound device methods.  Serializing them requires stable
+names; restoring requires resolving those names against the freshly built
+platform.  Both directions use the registries built here:
+
+* **events** — every :class:`~repro.systemc.event.Event` reachable from
+  the module hierarchy, keyed by its (hierarchical, unique) name.  IrqLine
+  edge events, Signal value-changed events, Clock posedge and Reset edge
+  events are all included.
+* **owners** — every object whose bound methods may sit in the timed heap,
+  keyed by a stable path: modules by hierarchical name, clocks by name,
+  timer channels as ``"<timer>#channel<i>"``.
+
+Both registries are pure introspection over a built platform, so capture
+and restore resolve against identical name sets by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..models.timer import MmTimer
+from ..systemc.clock import Clock, Reset
+from ..systemc.event import Event
+from ..systemc.signal import IrqLine, Signal
+
+
+def build_registries(vp) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Return ``(events_by_name, owners_by_path)`` for a built platform."""
+    events: Dict[str, Event] = {}
+    owners: Dict[str, object] = {}
+
+    def add_event(event: Event) -> None:
+        events.setdefault(event.name, event)
+
+    def visit(value) -> None:
+        if isinstance(value, Event):
+            add_event(value)
+        elif isinstance(value, IrqLine):
+            add_event(value.raised)
+            add_event(value.lowered)
+            add_event(value.changed)
+        elif isinstance(value, Signal):
+            add_event(value.value_changed)
+        elif isinstance(value, Clock):
+            owners[value.name] = value
+            add_event(value.posedge)
+        elif isinstance(value, Reset):
+            add_event(value.asserted_event)
+            add_event(value.deasserted_event)
+
+    for module in vp.iter_hierarchy():
+        owners[module.name] = module
+        for value in vars(module).values():
+            if isinstance(value, dict):
+                for item in value.values():
+                    visit(item)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    visit(item)
+            else:
+                visit(value)
+        if isinstance(module, MmTimer):
+            for index, channel in enumerate(module.channels):
+                owners[f"{module.name}#channel{index}"] = channel
+                visit(channel.irq)
+    return events, owners
+
+
+def owner_paths_by_id(owners: Dict[str, object]) -> Dict[int, str]:
+    """Invert an owners registry for capture-side lookup by identity."""
+    return {id(owner): path for path, owner in owners.items()}

@@ -63,11 +63,14 @@ class Clock:
     def _schedule_tick(self) -> None:
         if not self._ticking:
             return
-        def tick():
-            if self._ticking:
-                self.posedge.notify(delay=None)
-                self._schedule_tick()
-        self._kernel.schedule_callback(self.period, tick)
+        # Bound method, not a closure: pending ticks in the timed heap must
+        # be introspectable (owner + method name) for repro.snapshot.
+        self._kernel.schedule_callback(self.period, self._tick)
+
+    def _tick(self) -> None:
+        if self._ticking:
+            self.posedge.notify(delay=None)
+            self._schedule_tick()
 
     def __repr__(self) -> str:
         return f"Clock({self.name!r}, {self._frequency / 1e6:g} MHz)"

@@ -96,6 +96,26 @@ def enter_shared_section() -> None:
         leg.enter_shared_section()
 
 
+class _ProcessWakeup:
+    """The timed-heap action that wakes a waiting process.
+
+    A plain class instead of a closure so the snapshot subsystem
+    (:mod:`repro.snapshot`) can introspect pending wakeups — which process,
+    and whether the entry is a timeout — and re-create them verbatim when a
+    saved event queue is restored into a fresh kernel.
+    """
+
+    __slots__ = ("kernel", "process", "timeout")
+
+    def __init__(self, kernel: "Kernel", process: Process, timeout: bool):
+        self.kernel = kernel
+        self.process = process
+        self.timeout = timeout
+
+    def __call__(self) -> None:
+        self.process._wake(self.kernel, timed_out=self.timeout)
+
+
 class _TimedEntry:
     """A cancellable entry in the timed-notification heap."""
 
@@ -384,7 +404,7 @@ class Kernel:
         return entry
 
     def _schedule_timed_wakeup(self, process: Process, due: SimTime, timeout: bool = False) -> _TimedEntry:
-        action = lambda: process._wake(self, timed_out=timeout)  # noqa: E731
+        action = _ProcessWakeup(self, process, timeout)
         leg = _context.leg
         if leg is not None:
             return self._defer_timed(_TimedEntry(due, -1, action), leg)

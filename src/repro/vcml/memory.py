@@ -68,6 +68,16 @@ class Memory(Component):
         for callback in self._dmi_invalidation_callbacks:
             callback(0, self.size - 1)
 
+    # -- snapshot support ---------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Access counters only; the byte content is serialized separately
+        (sparse, page-deduped) by :mod:`repro.snapshot.format`."""
+        return {"num_reads": self.num_reads, "num_writes": self.num_writes}
+
+    def restore_state(self, state: dict) -> None:
+        self.num_reads = state["num_reads"]
+        self.num_writes = state["num_writes"]
+
     # -- transport ----------------------------------------------------------
     def _in_range(self, payload: GenericPayload) -> bool:
         return 0 <= payload.address and payload.address + payload.length <= self.size

@@ -97,6 +97,11 @@ class Processor(Component):
         # Debugger support: a BREAK simulate action parks the thread here.
         self.debug_paused = False
         self.debug_resume_event = self.sc_event("debug_resume")
+        #: where the SC_THREAD is currently parked (set right before every
+        #: yield).  repro.snapshot serializes this label and restores the
+        #: process as a fresh generator that re-enters the loop at the
+        #: matching continuation (:meth:`_resume_thread`).
+        self._park = "start"
 
     # -- elaboration -----------------------------------------------------------
     def start_of_simulation(self) -> None:
@@ -166,11 +171,13 @@ class Processor(Component):
     def _processor_thread(self):
         while not self.halted and not self.wants_stop():
             if self.in_reset:
+                self._park = "reset"
                 yield self.rst.deasserted_event
                 continue
             remaining = self.keeper.remaining()
             if remaining.is_zero():
                 self.num_syncs += 1
+                self._park = "sync"
                 yield self.keeper.sync_wait()
                 continue
             cycles = self.time_to_cycles(remaining)
@@ -188,6 +195,7 @@ class Processor(Component):
                 # (and the error_hook / crash bundler) instead of hanging
                 # the barrier.
                 leg = executor.submit(self, cycles)
+                self._park = "leg"
                 yield leg.done
                 result = leg.take_result()
             self.total_cycles += result.cycles
@@ -195,33 +203,108 @@ class Processor(Component):
             if result.action is SimulateAction.HALT:
                 self.halted = True
                 self.num_syncs += 1
+                self._park = "sync"
                 yield self.keeper.sync_wait()
                 break
             if result.action is SimulateAction.BREAK:
                 # Debugger stop: realize local time, park until resumed,
                 # and hand control back to the host (the debugger).
                 self.num_syncs += 1
+                self._park = "break_sync"
                 yield self.keeper.sync_wait()
                 self.debug_paused = True
                 self.kernel.stop()
+                self._park = "debug"
                 yield self.debug_resume_event
                 self.debug_paused = False
                 continue
             if result.action is SimulateAction.WAIT_IRQ:
                 # Realize local time, then sleep until an interrupt arrives.
                 self.num_syncs += 1
+                self._park = "wait_irq_sync"
                 yield self.keeper.sync_wait()
                 if not self.irq_pending():
                     self.waiting_for_irq = True
+                    self._park = "wait_irq"
                     yield self.irq_event
                     self.waiting_for_irq = False
                 continue
             if self.keeper.need_sync():
                 self.num_syncs += 1
+                self._park = "sync"
                 yield self.keeper.sync_wait()
         self.on_halt()
         if self.halt_callback is not None:
             self.halt_callback(self)
+
+    def _resume_thread(self, site: str):
+        """Re-enter the simulation loop at a serialized park site.
+
+        Used by :mod:`repro.snapshot` only: the restored process is parked
+        on the same wait the original was (a timed sync wakeup or the IRQ
+        event, re-created from the snapshot), and this generator is its
+        body.  When that wait completes, the kernel steps the generator and
+        the site-specific prelude below runs exactly the continuation the
+        original generator would have executed after its ``yield`` —
+        after which control folds back into the normal loop, whose
+        top-of-iteration is behaviorally identical for every other site
+        (``sync_wait`` already zeroed the keeper offset before the yield).
+        """
+        if site == "wait_irq_sync":
+            # Original continuation: after realizing local time, check for
+            # a pending interrupt and only then sleep on the IRQ event.
+            if not self.irq_pending():
+                self.waiting_for_irq = True
+                self._park = "wait_irq"
+                yield self.irq_event
+                self.waiting_for_irq = False
+        elif site == "wait_irq":
+            self.waiting_for_irq = False
+        yield from self._processor_thread()
+
+    # -- snapshot support -----------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable shell state shared by every processor backend.
+
+        Subclasses extend the dict with backend-specific state.  IRQ line
+        levels are keyed by the (sorted) line number so snapshot bytes do
+        not depend on dict insertion order.
+        """
+        return {
+            "park": self._park,
+            "irq_levels": {str(number): bool(level) for number, level
+                           in sorted(self._irq_levels.items())},
+            "irq_line_levels": {str(number): self.irq_lines[number].level
+                                for number in sorted(self.irq_lines)},
+            "waiting_for_irq": self.waiting_for_irq,
+            "halted": self.halted,
+            "debug_paused": self.debug_paused,
+            "local_offset_ps": self.keeper.local_time_offset.picoseconds,
+            "total_cycles": self.total_cycles,
+            "num_simulate_calls": self.num_simulate_calls,
+            "num_syncs": self.num_syncs,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Install a :meth:`snapshot_state` dict.
+
+        IRQ input lines must already exist (the restored platform was built
+        by the same constructor, so the GIC wiring re-created them); their
+        levels are poked without firing the change callbacks — the backend's
+        latched levels are restored from the same dict.
+        """
+        self._park = state["park"]
+        self._irq_levels = {int(number): bool(level)
+                            for number, level in state["irq_levels"].items()}
+        for number, level in state["irq_line_levels"].items():
+            self.irq_lines[int(number)]._level = bool(level)
+        self.waiting_for_irq = bool(state["waiting_for_irq"])
+        self.halted = bool(state["halted"])
+        self.debug_paused = bool(state["debug_paused"])
+        self.keeper.set_offset(SimTime(state["local_offset_ps"]))
+        self.total_cycles = state["total_cycles"]
+        self.num_simulate_calls = state["num_simulate_calls"]
+        self.num_syncs = state["num_syncs"]
 
     def on_halt(self) -> None:
         """Subclass hook invoked when the processor thread terminates."""

@@ -127,6 +127,23 @@ class RegisterFile:
         for register in self._registers:
             register.reset()
 
+    # -- snapshot support -----------------------------------------------------
+    def snapshot_values(self) -> Dict[str, int]:
+        """Raw register values keyed by name, in canonical (name) order.
+
+        Values are taken with :meth:`Register.peek` (no side effects);
+        registers whose content is derived on read (``on_read``) are
+        included too — their stored value is what the last access left
+        behind, and :meth:`restore_values` simply pokes it back.
+        """
+        return {register.name: register.peek()
+                for register in sorted(self._registers, key=lambda reg: reg.name)}
+
+    def restore_values(self, values: Dict[str, int]) -> None:
+        """Poke back a :meth:`snapshot_values` dict (no write side effects)."""
+        for name, value in values.items():
+            self._by_name[name].poke(value)
+
     # -- transaction-level access -------------------------------------------
     def read_bytes(self, offset: int, length: int, debug: bool = False) -> Optional[bytes]:
         """Read ``length`` bytes; None if any byte is unmapped/not readable."""

@@ -1,0 +1,43 @@
+"""RPR012 fixture: non-serializable state on snapshot-visible attributes."""
+
+import io
+import threading
+from queue import Queue
+from tempfile import NamedTemporaryFile
+
+
+class LoggingUart(Peripheral):
+    def __init__(self, name, log_path):
+        super().__init__(name)
+        # BAD: an open OS handle does not survive a save/load round trip.
+        self.log = open(log_path, "ab")
+        # BAD: same through the io module.
+        self.mirror = io.open(log_path, "rb")
+
+    def push(self, byte):
+        self.log.write(bytes([byte]))
+
+
+class CallbackTimer(Peripheral):
+    def __init__(self, name):
+        super().__init__(name)
+        # BAD: a pending timed callback bound to a lambda has no
+        # (owner, method-name) descriptor; snapshot capture refuses it.
+        self.on_expire = lambda: self.raise_irq()
+
+    def raise_irq(self):
+        pass
+
+
+class ThreadedBackend(Component):
+    def __init__(self, name):
+        super().__init__(name)
+        # BAD: host concurrency primitives are per-process, not guest state.
+        self.worker = threading.Thread(target=self._pump)
+        self.lock = threading.Lock()
+        self.inbox = Queue()
+        # BAD: bare-imported constructor of a temp-file handle.
+        self.scratch = NamedTemporaryFile()
+
+    def _pump(self):
+        pass

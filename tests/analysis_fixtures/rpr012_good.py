@@ -1,0 +1,39 @@
+"""RPR012 fixture: serializable patterns the rule must stay silent on."""
+
+import threading
+
+
+class PathUart(Peripheral):
+    def __init__(self, name, log_path):
+        super().__init__(name)
+        # GOOD: store the path, open on demand inside a with block.
+        self.log_path = log_path
+        self.rx_fifo = []
+        self.handle = None   # GOOD: a cleared slot is plain data
+
+    def flush(self, data):
+        with open(self.log_path, "ab") as stream:
+            stream.write(data)
+
+
+class MethodTimer(Peripheral):
+    def __init__(self, name):
+        super().__init__(name)
+        # GOOD: a bound method serializes as (owner path, method name).
+        self.on_expire = self._fire
+        # GOOD: lambda in a local never lands on the module.
+        key = lambda entry: entry[0]
+        self.order = sorted([(2, "b"), (1, "a")], key=key)
+
+    def _fire(self):
+        pass
+
+
+class HostSideRunner:
+    """GOOD: not a Module subclass — host harness code may own threads."""
+
+    def __init__(self):
+        self.worker = threading.Thread(target=self._pump)
+
+    def _pump(self):
+        pass
